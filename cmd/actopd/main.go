@@ -1,0 +1,144 @@
+// Command actopd runs one node of the ActOp actor runtime over TCP, with a
+// built-in demo actor type ("kv": Get/Put/Del) so a multi-machine cluster
+// can be driven by hand.
+//
+// Start a three-node cluster (any hosts; here one machine):
+//
+//	actopd -listen 127.0.0.1:7001 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	actopd -listen 127.0.0.1:7002 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	actopd -listen 127.0.0.1:7003 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//
+// Exercise it from any node with -call:
+//
+//	actopd -listen 127.0.0.1:7004 -peers 127.0.0.1:7001,... -call kv/user42 -method Put -value hello
+//
+// ActOp (partitioning + thread tuning) runs on every long-lived node;
+// counters are logged once per -stats interval.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"actop/internal/actor"
+	"actop/internal/codec"
+	"actop/internal/core"
+	"actop/internal/transport"
+)
+
+// kvActor is the built-in demo type: a tiny per-key store.
+type kvActor struct{ Value string }
+
+func (k *kvActor) Receive(ctx *actor.Context, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "Put":
+		var v string
+		if err := codec.Unmarshal(args, &v); err != nil {
+			return nil, err
+		}
+		k.Value = v
+		return nil, nil
+	case "Get":
+		return codec.Marshal(k.Value)
+	case "Del":
+		k.Value = ""
+		return nil, nil
+	}
+	return nil, fmt.Errorf("kv: unknown method %q", method)
+}
+
+func (k *kvActor) Snapshot() ([]byte, error) { return codec.Marshal(k.Value) }
+func (k *kvActor) Restore(b []byte) error    { return codec.Unmarshal(b, &k.Value) }
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7001", "listen address (also the node id)")
+		peersStr = flag.String("peers", "", "comma-separated peer addresses (must include this node)")
+		noActOp  = flag.Bool("no-actop", false, "disable the ActOp optimizer")
+		stats    = flag.Duration("stats", 10*time.Second, "stats logging period")
+		call     = flag.String("call", "", "one-shot: call type/key instead of serving")
+		method   = flag.String("method", "Get", "one-shot method")
+		value    = flag.String("value", "", "one-shot Put value")
+	)
+	flag.Parse()
+
+	tr, err := transport.ListenTCP(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var peers []transport.NodeID
+	for _, p := range strings.Split(*peersStr, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, transport.NodeID(p))
+		}
+	}
+	peers = append(peers, tr.Node())
+	seen := map[transport.NodeID]bool{}
+	uniq := peers[:0]
+	for _, p := range peers {
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	sys, err := actor.NewSystem(actor.Config{Transport: tr, Peers: uniq, Seed: time.Now().UnixNano()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.RegisterType("kv", func() actor.Actor { return &kvActor{} })
+	defer sys.Stop()
+
+	if *call != "" {
+		parts := strings.SplitN(*call, "/", 2)
+		if len(parts) != 2 {
+			log.Fatalf("-call wants type/key, got %q", *call)
+		}
+		ref := actor.Ref{Type: parts[0], Key: parts[1]}
+		switch *method {
+		case "Put":
+			if err := sys.Call(ref, "Put", *value, nil); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("ok")
+		default:
+			var out string
+			if err := sys.Call(ref, *method, nil, &out); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(out)
+		}
+		return
+	}
+
+	if !*noActOp {
+		opt := core.NewOptimizer(sys, core.DefaultOptions())
+		opt.Start()
+		defer opt.Stop()
+	}
+	log.Printf("actopd serving on %s with %d peers (actop=%v)", tr.Node(), len(uniq), !*noActOp)
+
+	tick := time.NewTicker(*stats)
+	defer tick.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case <-tick.C:
+			st := sys.Stats()
+			recv, work, send := sys.Stages()
+			log.Printf("activations=%d calls(l/r)=%d/%d migrations(in/out)=%d/%d threads=%d/%d/%d edges=%d",
+				st.Activations, st.CallsLocal, st.CallsRemote,
+				st.MigrationsIn, st.MigrationsOut,
+				recv.Workers(), work.Workers(), send.Workers(), st.MonitoredEdges)
+		case <-sig:
+			log.Print("shutting down")
+			return
+		}
+	}
+}

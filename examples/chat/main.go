@@ -1,0 +1,215 @@
+// Chat: the paper's motivating example (§1) on the real runtime — every
+// user and chat room is an actor. Users join rooms and post messages; the
+// room fans each message out to its members. ActOp's partitioner watches
+// the traffic and migrates each room's members onto the room's node,
+// driving the remote-call fraction down while the application keeps running.
+//
+//	go run ./examples/chat
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"actop/internal/actor"
+	"actop/internal/codec"
+	"actop/internal/core"
+	"actop/internal/transport"
+)
+
+type post struct {
+	From string
+	Text string
+}
+
+// room fans posts out to member users.
+type room struct{ Members []string }
+
+func (r *room) Receive(ctx *actor.Context, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "Join":
+		var user string
+		if err := codec.Unmarshal(args, &user); err != nil {
+			return nil, err
+		}
+		r.Members = append(r.Members, user)
+		return nil, nil
+	case "Post":
+		var p post
+		if err := codec.Unmarshal(args, &p); err != nil {
+			return nil, err
+		}
+		for _, m := range r.Members {
+			if m == p.From {
+				// Never call back into the poster: its mailbox is blocked
+				// inside Say → Post, and a reentrant Deliver would deadlock
+				// the turn (the same hazard exists in Orleans without
+				// reentrant grains).
+				continue
+			}
+			if err := ctx.Call(actor.Ref{Type: "user", Key: m}, "Deliver", p, nil); err != nil {
+				return nil, err
+			}
+		}
+		return codec.Marshal(len(r.Members))
+	}
+	return nil, fmt.Errorf("room: unknown method %q", method)
+}
+
+func (r *room) Snapshot() ([]byte, error) { return codec.Marshal(r.Members) }
+func (r *room) Restore(b []byte) error    { return codec.Unmarshal(b, &r.Members) }
+
+// user stores an inbox and posts through its room.
+type user struct{ Inbox int }
+
+func (u *user) Receive(ctx *actor.Context, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "Deliver":
+		u.Inbox++
+		return nil, nil
+	case "Say":
+		var req struct {
+			Room string
+			Text string
+		}
+		if err := codec.Unmarshal(args, &req); err != nil {
+			return nil, err
+		}
+		var fanout int
+		err := ctx.Call(actor.Ref{Type: "room", Key: req.Room}, "Post",
+			post{From: ctx.Self().Key, Text: req.Text}, &fanout)
+		return nil, err
+	}
+	return nil, fmt.Errorf("user: unknown method %q", method)
+}
+
+func (u *user) Snapshot() ([]byte, error) { return codec.Marshal(u.Inbox) }
+func (u *user) Restore(b []byte) error    { return codec.Unmarshal(b, &u.Inbox) }
+
+func main() {
+	const nodes, rooms, usersPerRoom = 3, 9, 5
+
+	net := transport.NewNetwork(100 * time.Microsecond)
+	var peers []transport.NodeID
+	for i := 0; i < nodes; i++ {
+		peers = append(peers, transport.NodeID(fmt.Sprintf("silo-%d", i)))
+	}
+	var systems []*actor.System
+	var optimizers []*core.Optimizer
+	for i, p := range peers {
+		sys, err := actor.NewSystem(actor.Config{
+			Transport: net.Join(p), Peers: peers, Seed: int64(i),
+			Workers: 32,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.RegisterType("room", func() actor.Actor { return &room{} })
+		sys.RegisterType("user", func() actor.Actor { return &user{} })
+		defer sys.Stop()
+		systems = append(systems, sys)
+
+		opts := core.DefaultOptions()
+		opts.ThreadTuning = false
+		opts.PartitionPeriod = 300 * time.Millisecond
+		opts.RejectWindow = 600 * time.Millisecond
+		opt := core.NewOptimizer(sys, opts)
+		opt.Start()
+		defer opt.Stop()
+		optimizers = append(optimizers, opt)
+	}
+
+	// Users join rooms (random placement scatters everyone).
+	for r := 0; r < rooms; r++ {
+		roomKey := fmt.Sprintf("room-%d", r)
+		for u := 0; u < usersPerRoom; u++ {
+			userKey := fmt.Sprintf("user-%d-%d", r, u)
+			if err := systems[0].Call(actor.Ref{Type: "room", Key: roomKey}, "Join", userKey, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	remoteFraction := func() float64 {
+		var local, remote uint64
+		for _, sys := range systems {
+			st := sys.Stats()
+			local += st.CallsLocal
+			remote += st.CallsRemote
+		}
+		if local+remote == 0 {
+			return 0
+		}
+		return float64(remote) / float64(local+remote)
+	}
+
+	// Chat traffic: each user posts; the room fans out.
+	say := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			for r := 0; r < rooms; r++ {
+				for u := 0; u < usersPerRoom; u++ {
+					ref := actor.Ref{Type: "user", Key: fmt.Sprintf("user-%d-%d", r, u)}
+					arg := struct {
+						Room string
+						Text string
+					}{Room: fmt.Sprintf("room-%d", r), Text: "hi"}
+					if err := systems[r%nodes].Call(ref, "Say", arg, nil); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+
+	say(5)
+	fmt.Printf("before ActOp converges: %.0f%% of actor calls are remote\n", 100*remoteFraction())
+
+	// Keep chatting while ActOp migrates members toward their rooms.
+	for phase := 0; phase < 6; phase++ {
+		say(5)
+		time.Sleep(400 * time.Millisecond)
+	}
+
+	var moved int
+	for _, o := range optimizers {
+		_, m, _ := o.Counters()
+		moved += m
+	}
+	fmt.Printf("after  ActOp converges: %.0f%% of actor calls are remote (cumulative; %d actors migrated)\n",
+		100*remoteFraction(), moved)
+
+	// Per-room locality: count rooms whose members all share the room's node.
+	colocated := 0
+	for r := 0; r < rooms; r++ {
+		roomRef := actor.Ref{Type: "room", Key: fmt.Sprintf("room-%d", r)}
+		var roomNode transport.NodeID
+		for _, sys := range systems {
+			if sys.HostsActor(roomRef) {
+				roomNode = sys.Node()
+			}
+		}
+		all := true
+		for u := 0; u < usersPerRoom; u++ {
+			ref := actor.Ref{Type: "user", Key: fmt.Sprintf("user-%d-%d", r, u)}
+			hosted := false
+			for _, sys := range systems {
+				if sys.Node() == roomNode && sys.HostsActor(ref) {
+					hosted = true
+				}
+			}
+			if !hosted {
+				all = false
+			}
+		}
+		if all {
+			colocated++
+		}
+	}
+	fmt.Printf("%d/%d rooms fully co-located with their members\n", colocated, rooms)
+	for _, sys := range systems {
+		st := sys.Stats()
+		fmt.Printf("%s: activations=%d migrations(in/out)=%d/%d\n",
+			st.Node, st.Activations, st.MigrationsIn, st.MigrationsOut)
+	}
+}

@@ -1,0 +1,57 @@
+// Halo Presence: the paper's flagship workload (§3, §6.1) at cluster scale
+// on the deterministic simulator — games of 8 players exchanging the
+// 18-message broadcast per status query, with players churning through
+// games. Runs the same scenario three ways (baseline, ActOp partitioning,
+// ActOp combined) and prints the latency/CPU comparison in seconds of wall
+// time.
+//
+//	go run ./examples/halopresence
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"actop/internal/experiments"
+)
+
+func main() {
+	base := experiments.DefaultHaloOpts()
+	base.Players = 4000
+	base.Servers = 3
+	base.Load = 1800
+	base.Warmup = 3 * time.Minute
+	base.Measure = 2 * time.Minute
+	base.FastControl = true
+
+	fmt.Println("Halo Presence, 4000 players on 3 simulated 8-core servers, 1800 status queries/s")
+	fmt.Println()
+
+	baseline := base
+	r1 := experiments.RunHalo(baseline)
+	fmt.Println("[1/3] baseline (random placement, default threads)")
+	fmt.Print(r1.Render())
+
+	part := base
+	part.Partitioning = true
+	r2 := experiments.RunHalo(part)
+	fmt.Println("[2/3] ActOp partitioning")
+	fmt.Print(r2.Render())
+
+	both := part
+	both.ThreadTuning = true
+	r3 := experiments.RunHalo(both)
+	fmt.Println("[3/3] ActOp partitioning + thread allocation")
+	fmt.Print(r3.Render())
+
+	fmt.Println()
+	imp := func(a, b time.Duration) string {
+		return fmt.Sprintf("%.0f%%", 100*(1-float64(b)/float64(a)))
+	}
+	fmt.Printf("median improvement: partitioning %s, combined %s (paper: 42%%, 55%%)\n",
+		imp(r1.Latency.Median, r2.Latency.Median), imp(r1.Latency.Median, r3.Latency.Median))
+	fmt.Printf("p99    improvement: partitioning %s, combined %s (paper: 69%%, 75%%)\n",
+		imp(r1.Latency.P99, r2.Latency.P99), imp(r1.Latency.P99, r3.Latency.P99))
+	fmt.Printf("CPU: %.0f%% -> %.0f%% -> %.0f%%\n",
+		100*r1.CPUUtilization, 100*r2.CPUUtilization, 100*r3.CPUUtilization)
+}

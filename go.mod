@@ -1,0 +1,3 @@
+module actop
+
+go 1.22

@@ -1,0 +1,207 @@
+package actor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// invocation is one queued actor method call with its completion callback.
+type invocation struct {
+	method  string
+	args    []byte
+	respond func(data []byte, err error)
+}
+
+// activation is one live actor instance with a turn-based mailbox: the
+// runtime executes at most one Receive at a time per activation, scheduling
+// turns on the node's worker stage.
+type activation struct {
+	ref   Ref
+	actor Actor
+
+	// turnMu is held for the duration of each Receive; Migrate acquires it
+	// to guarantee no turn is in flight while the state is snapshotted.
+	turnMu sync.Mutex
+
+	mu        sync.Mutex
+	queue     []invocation
+	scheduled bool
+	// forwarded, when set, means the activation migrated away; enqueued
+	// invocations are re-routed to the new host.
+	forwarded bool
+}
+
+// turnBatch bounds invocations processed per worker-stage task so one hot
+// actor cannot starve the stage.
+const turnBatch = 16
+
+// enqueue adds an invocation and schedules a drain turn if none is pending.
+func (a *activation) enqueue(inv invocation, s *System) {
+	a.mu.Lock()
+	if a.forwarded {
+		a.mu.Unlock()
+		s.forwardInvocation(a.ref, inv)
+		return
+	}
+	a.queue = append(a.queue, inv)
+	need := !a.scheduled
+	if need {
+		a.scheduled = true
+	}
+	a.mu.Unlock()
+	if need {
+		a.schedule(s)
+	}
+}
+
+func (a *activation) schedule(s *System) {
+	if err := s.workStage.Submit(func() { a.drain(s) }); err != nil {
+		// Worker queue full: fail the queued invocations (backpressure).
+		a.mu.Lock()
+		pending := a.queue
+		a.queue = nil
+		a.scheduled = false
+		a.mu.Unlock()
+		for _, inv := range pending {
+			inv.respond(nil, fmt.Errorf("%w: worker queue", ErrOverloaded))
+		}
+	}
+}
+
+// drain processes up to turnBatch invocations, then reschedules itself if
+// more arrived.
+func (a *activation) drain(s *System) {
+	for i := 0; i < turnBatch; i++ {
+		a.mu.Lock()
+		if len(a.queue) == 0 || a.forwarded {
+			a.scheduled = false
+			rerouted := a.forwarded
+			var pending []invocation
+			if rerouted {
+				pending = a.queue
+				a.queue = nil
+			}
+			a.mu.Unlock()
+			for _, inv := range pending {
+				s.forwardInvocation(a.ref, inv)
+			}
+			return
+		}
+		inv := a.queue[0]
+		a.queue = a.queue[1:]
+		a.mu.Unlock()
+
+		a.turnMu.Lock()
+		// A migration may have retired this activation while we waited for
+		// the turn lock (Migrate holds it during the state snapshot); the
+		// dequeued invocation must chase the actor, not run on the stale
+		// instance.
+		a.mu.Lock()
+		rerouted := a.forwarded
+		a.mu.Unlock()
+		if rerouted {
+			a.turnMu.Unlock()
+			s.forwardInvocation(a.ref, inv)
+			continue
+		}
+		ctx := &Context{sys: s, self: a.ref}
+		data, err := a.actor.Receive(ctx, inv.method, inv.args)
+		a.turnMu.Unlock()
+		inv.respond(data, err)
+	}
+	// Batch exhausted: yield the worker and reschedule.
+	a.mu.Lock()
+	if len(a.queue) == 0 && !a.forwarded {
+		a.scheduled = false
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+	a.schedule(s)
+}
+
+// activationFor returns the local activation for ref, creating it on demand
+// when this node is (or becomes) the registered host. It returns (nil, nil)
+// when the actor is hosted elsewhere — the caller redirects.
+func (s *System) activationFor(ref Ref, activate bool) (*activation, error) {
+	s.mu.RLock()
+	act, ok := s.activations[ref]
+	factory, typeOK := s.types[ref.Type]
+	s.mu.RUnlock()
+	if ok {
+		return act, nil
+	}
+	if !typeOK {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownType, ref.Type)
+	}
+	if !activate {
+		return nil, nil
+	}
+	node, err := s.locate(ref, true)
+	if err != nil {
+		return nil, err
+	}
+	if node != s.Node() {
+		return nil, nil
+	}
+	// We are the host: instantiate (actor virtualization — §2).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if again, ok := s.activations[ref]; ok {
+		return again, nil
+	}
+	act = &activation{ref: ref, actor: factory()}
+	s.activations[ref] = act
+	s.vertexRefs[uint64(ref.Vertex())] = ref
+	return act, nil
+}
+
+// forwardInvocation re-routes an invocation that raced with a migration.
+func (s *System) forwardInvocation(ref Ref, inv invocation) {
+	go func() {
+		data, err := s.dispatch(ref, inv.method, inv.args, 0)
+		inv.respond(data, err)
+	}()
+}
+
+// LocalRefs lists the refs of actors activated on this node.
+func (s *System) LocalRefs() []Ref {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Ref, 0, len(s.activations))
+	for ref := range s.activations {
+		out = append(out, ref)
+	}
+	return out
+}
+
+// HostsActor reports whether this node currently hosts ref.
+func (s *System) HostsActor(ref Ref) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.activations[ref]
+	return ok
+}
+
+// Deactivate removes a local activation and unregisters it from the
+// directory (the next call re-instantiates it somewhere per policy).
+func (s *System) Deactivate(ref Ref) error {
+	s.mu.Lock()
+	act, ok := s.activations[ref]
+	if ok {
+		delete(s.activations, ref)
+		delete(s.locCache, ref)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("actor: %s not active here", ref)
+	}
+	act.mu.Lock()
+	act.forwarded = true // stragglers re-route through the directory
+	act.mu.Unlock()
+	s.monMu.Lock()
+	s.monitor.ForgetVertex(ref.Vertex())
+	s.monMu.Unlock()
+	return s.controlCall(s.directoryOwner(ref), ctlDirRemove,
+		dirRequest{Type: ref.Type, Key: ref.Key}, nil)
+}

@@ -1,0 +1,173 @@
+// Package actor is a distributed virtual-actor runtime in the style of
+// Orleans (§2): actors are addressed by type/key references, instantiated
+// on demand on some server, invoked location-transparently (local calls
+// deep-copy arguments, remote calls serialize them), and can be migrated
+// between servers live — the property ActOp's partitioner exploits.
+//
+// Each node runs a SEDA pipeline (receive → execute → send) with resizable
+// thread pools, so ActOp's thread controller (internal/core) can retune it
+// from the queuing model.
+package actor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"actop/internal/graph"
+	"actop/internal/transport"
+)
+
+// Ref addresses a virtual actor: a type name (registered with the system)
+// plus an application key. Refs are location-transparent; the runtime finds
+// or creates the activation.
+type Ref struct {
+	Type string
+	Key  string
+}
+
+// String renders "type/key".
+func (r Ref) String() string { return r.Type + "/" + r.Key }
+
+// Vertex maps the ref onto the communication-graph vertex id used by the
+// partitioner: a 64-bit FNV-1a of the printable form. The mapping is
+// deterministic and coordination-free across nodes.
+func (r Ref) Vertex() graph.Vertex {
+	h := fnv.New64a()
+	h.Write([]byte(r.Type))
+	h.Write([]byte{0})
+	h.Write([]byte(r.Key))
+	return graph.Vertex(h.Sum64())
+}
+
+// Actor is the application-facing actor contract: a single Receive method
+// dispatching on the method name with gob-encoded arguments. Activations
+// are single-threaded: the runtime never calls Receive concurrently for
+// one activation.
+type Actor interface {
+	Receive(ctx *Context, method string, args []byte) ([]byte, error)
+}
+
+// Migratable is optionally implemented by actors whose state must survive
+// migration and explicit deactivation: Snapshot is taken on the old node,
+// Restore runs on the new one.
+type Migratable interface {
+	Snapshot() ([]byte, error)
+	Restore(data []byte) error
+}
+
+// Factory creates a fresh (empty) actor instance of one type.
+type Factory func() Actor
+
+// PlacementPolicy decides where a new activation lives.
+type PlacementPolicy int
+
+// Placement policies (§3 discusses both).
+const (
+	// PlaceRandom places new activations uniformly at random — Orleans's
+	// default; balances load, forgoes locality.
+	PlaceRandom PlacementPolicy = iota
+	// PlaceLocal places new activations on the node that first called them
+	// — good when the callee is exclusively owned by its first caller,
+	// pathological otherwise (§3).
+	PlaceLocal
+)
+
+// Config configures one node of the actor system.
+type Config struct {
+	// Transport connects this node to its peers.
+	Transport transport.Transport
+	// Peers is the full static cluster membership, including this node.
+	Peers []transport.NodeID
+
+	// Stage sizing (defaults: 2 receivers, GOMAXPROCS workers, 2 senders;
+	// queue capacity 4096).
+	ReceiverWorkers int
+	Workers         int
+	SenderWorkers   int
+	QueueCap        int
+
+	// CallTimeout bounds a single actor call round trip (default 5s).
+	CallTimeout time.Duration
+
+	// Placement selects the new-activation policy (default PlaceRandom).
+	Placement PlacementPolicy
+
+	// MonitorCapacity sizes the per-node Space-Saving edge summary
+	// (default 4096).
+	MonitorCapacity int
+
+	// ExchangeRejectWindow is Algorithm 1's cooldown on the receiving side
+	// of a partition exchange: requests arriving sooner after this node's
+	// last exchange are rejected (default one minute, as in the paper).
+	ExchangeRejectWindow time.Duration
+
+	// Seed drives placement randomness.
+	Seed int64
+}
+
+func (c *Config) fill() error {
+	if c.Transport == nil {
+		return fmt.Errorf("actor: config needs a transport")
+	}
+	if len(c.Peers) == 0 {
+		c.Peers = []transport.NodeID{c.Transport.Node()}
+	}
+	found := false
+	for _, p := range c.Peers {
+		if p == c.Transport.Node() {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("actor: peers must include this node %s", c.Transport.Node())
+	}
+	if c.ReceiverWorkers <= 0 {
+		c.ReceiverWorkers = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.SenderWorkers <= 0 {
+		c.SenderWorkers = 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 5 * time.Second
+	}
+	if c.MonitorCapacity <= 0 {
+		c.MonitorCapacity = 4096
+	}
+	if c.ExchangeRejectWindow <= 0 {
+		c.ExchangeRejectWindow = time.Minute
+	}
+	return nil
+}
+
+// Context is passed to Actor.Receive; it exposes the actor's identity and
+// outbound calls (which the monitor observes as communication edges).
+type Context struct {
+	sys  *System
+	self Ref
+}
+
+// Self reports the receiving actor's reference.
+func (c *Context) Self() Ref { return c.self }
+
+// Node reports the hosting node.
+func (c *Context) Node() transport.NodeID { return c.sys.Node() }
+
+// Call invokes another actor and decodes the result into reply (pass nil to
+// ignore results). The call blocks the current activation turn, like an
+// awaited call in Orleans.
+//
+// Because the turn holds a worker-stage thread while waiting, size
+// Config.Workers above the expected number of concurrently blocked
+// outbound calls (as with any synchronous-RPC thread pool), or let ActOp's
+// thread controller grow the pool from measurements. Deep synchronous
+// call cycles can deadlock, exactly as in Orleans.
+func (c *Context) Call(to Ref, method string, args, reply interface{}) error {
+	return c.sys.call(&c.self, to, method, args, reply)
+}

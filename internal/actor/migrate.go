@@ -1,0 +1,355 @@
+package actor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"actop/internal/codec"
+	"actop/internal/graph"
+	"actop/internal/partition"
+	"actop/internal/transport"
+)
+
+// migratePayload is the wire form of a live-migration state transfer.
+type migratePayload struct {
+	Type, Key string
+	HasState  bool
+	State     []byte
+}
+
+// Migrate moves a locally hosted actor to another node, transparently to
+// callers (§4.3): the state transfers, the directory updates, stragglers
+// chase redirects, and queued invocations are re-routed.
+func (s *System) Migrate(ref Ref, to transport.NodeID) error {
+	if to == s.Node() {
+		return nil
+	}
+	s.mu.RLock()
+	act, ok := s.activations[ref]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("actor: %s not active on %s", ref, s.Node())
+	}
+
+	// Quiesce: no turn may run while the state is captured.
+	act.turnMu.Lock()
+	defer act.turnMu.Unlock()
+
+	payload := migratePayload{Type: ref.Type, Key: ref.Key}
+	if m, ok := act.actor.(Migratable); ok {
+		state, err := m.Snapshot()
+		if err != nil {
+			return fmt.Errorf("actor: snapshot %s: %w", ref, err)
+		}
+		payload.HasState = true
+		payload.State = state
+	}
+	if err := s.controlCall(to, ctlMigratePut, payload, nil); err != nil {
+		return fmt.Errorf("actor: transfer %s to %s: %w", ref, to, err)
+	}
+	// Point the directory and our cache at the new home.
+	if err := s.controlCall(s.directoryOwner(ref), ctlDirUpdate, dirRequest{
+		Type: ref.Type, Key: ref.Key, NewNode: string(to),
+	}, nil); err != nil {
+		return fmt.Errorf("actor: directory update for %s: %w", ref, err)
+	}
+	s.cachePut(ref, to)
+
+	// Retire the local activation; queued invocations re-route.
+	s.mu.Lock()
+	delete(s.activations, ref)
+	s.mu.Unlock()
+	act.mu.Lock()
+	act.forwarded = true
+	pending := act.queue
+	act.queue = nil
+	act.mu.Unlock()
+	for _, inv := range pending {
+		s.forwardInvocation(ref, inv)
+	}
+
+	// The statistics travel with the actor: drop our copy (the new host
+	// rebuilds from live traffic; §4.3).
+	s.monMu.Lock()
+	s.monitor.ForgetVertex(ref.Vertex())
+	s.monMu.Unlock()
+
+	s.migrationsOut.Add(1)
+	return nil
+}
+
+// handleMigratePut installs an inbound migrated actor.
+func (s *System) handleMigratePut(payload []byte) ([]byte, error) {
+	var p migratePayload
+	if err := codec.Unmarshal(payload, &p); err != nil {
+		return nil, err
+	}
+	ref := Ref{Type: p.Type, Key: p.Key}
+	s.mu.Lock()
+	factory, ok := s.types[ref.Type]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownType, ref.Type)
+	}
+	if _, exists := s.activations[ref]; exists {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("actor: %s already active on %s", ref, s.Node())
+	}
+	inst := factory()
+	if p.HasState {
+		m, ok := inst.(Migratable)
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("actor: %s carries state but type is not Migratable", ref)
+		}
+		if err := m.Restore(p.State); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("actor: restore %s: %w", ref, err)
+		}
+	}
+	s.activations[ref] = &activation{ref: ref, actor: inst}
+	s.locCache[ref] = s.Node()
+	s.vertexRefs[uint64(ref.Vertex())] = ref
+	s.mu.Unlock()
+	s.migrationsIn.Add(1)
+	return codec.Marshal(ctlPlacementOK)
+}
+
+// --- ActOp partition-exchange integration (Algorithm 1 over the wire) ---
+
+// wireCandidate mirrors partition.Candidate for gob transfer.
+type wireCandidate struct {
+	V            uint64
+	Edges        map[uint64]float64
+	HomeWeight   float64
+	TargetWeight float64
+}
+
+// exchangeWire is the ctlExchange request payload.
+type exchangeWire struct {
+	FromIndex      int // initiator's index in the sorted peer list
+	Candidates     []wireCandidate
+	FromPopulation int
+	Opts           wireOpts
+}
+
+// wireOpts carries the initiator's partitioning parameters so both sides
+// decide under the same configuration.
+type wireOpts struct {
+	CandidateSetSize   int
+	ImbalanceTolerance int
+	MinScore           float64
+}
+
+// exchangeReply is the ctlExchange response payload.
+type exchangeReply struct {
+	Rejected bool
+	Accepted []uint64 // initiator's vertices the peer will host
+	Counter  []uint64 // peer's vertices it is sending to the initiator
+}
+
+var exchangeMu sync.Mutex // serializes exchange decisions per process
+
+// exchangeState tracks Algorithm 1's cooldown.
+type exchangeState struct {
+	last  time.Time
+	begun bool
+}
+
+var exchangeStates sync.Map // *System → *exchangeState
+
+func (s *System) exchangeCooling(window time.Duration) bool {
+	v, _ := exchangeStates.LoadOrStore(s, &exchangeState{})
+	st := v.(*exchangeState)
+	return st.begun && time.Since(st.last) < window
+}
+
+func (s *System) markExchanged() {
+	v, _ := exchangeStates.LoadOrStore(s, &exchangeState{})
+	st := v.(*exchangeState)
+	st.begun = true
+	st.last = time.Now()
+}
+
+// nodeIndex maps a peer NodeID to its graph.ServerID (index in the sorted
+// peer list), the identifier space the partition package works in.
+func (s *System) nodeIndex(n transport.NodeID) (graph.ServerID, bool) {
+	for i, p := range s.peers {
+		if p == n {
+			return graph.ServerID(i), true
+		}
+	}
+	return 0, false
+}
+
+// sysLocator adapts the node's placement knowledge (own activations + the
+// location cache) to partition.Locator. Unknown actors simply don't
+// contribute to transfer scores — the algorithm is built for partial views.
+type sysLocator struct{ s *System }
+
+// Server implements partition.Locator.
+func (l sysLocator) Server(v graph.Vertex) (graph.ServerID, bool) {
+	ref, ok := l.s.refOf(uint64(v))
+	if !ok {
+		return 0, false
+	}
+	l.s.mu.RLock()
+	_, local := l.s.activations[ref]
+	cached, hasCache := l.s.locCache[ref]
+	l.s.mu.RUnlock()
+	if local {
+		return l.s.selfIndex(), true
+	}
+	if hasCache {
+		return l.s.nodeIndexOr(cached)
+	}
+	return 0, false
+}
+
+func (s *System) selfIndex() graph.ServerID {
+	idx, _ := s.nodeIndex(s.Node())
+	return idx
+}
+
+func (s *System) nodeIndexOr(n transport.NodeID) (graph.ServerID, bool) {
+	return s.nodeIndex(n)
+}
+
+// localVertices lists the vertices of locally hosted actors.
+func (s *System) localVertices() []graph.Vertex {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]graph.Vertex, 0, len(s.activations))
+	for ref := range s.activations {
+		out = append(out, ref.Vertex())
+	}
+	return out
+}
+
+// ExchangeRound runs one initiator round of Algorithm 1 from this node:
+// select candidates from the local monitor, offer them to the best peer,
+// and apply the agreed moves. It returns the number of actors migrated
+// (both directions counted by the respective movers).
+func (s *System) ExchangeRound(opts partition.Options, window time.Duration) (int, error) {
+	if s.exchangeCooling(window) {
+		return 0, nil
+	}
+	s.monMu.Lock()
+	snap := s.monitor.Snapshot()
+	s.monMu.Unlock()
+	local := s.localVertices()
+	self := s.selfIndex()
+	props := partition.SelectCandidates(opts, snap, sysLocator{s: s}, self, local, len(local))
+	for _, prop := range props {
+		peerIdx := int(prop.To)
+		if peerIdx < 0 || peerIdx >= len(s.peers) {
+			continue
+		}
+		peer := s.peers[peerIdx]
+		wire := exchangeWire{
+			FromIndex:      int(self),
+			FromPopulation: prop.FromPopulation,
+			Opts: wireOpts{
+				CandidateSetSize:   opts.CandidateSetSize,
+				ImbalanceTolerance: opts.ImbalanceTolerance,
+				MinScore:           opts.MinScore,
+			},
+		}
+		for _, c := range prop.Candidates {
+			wc := wireCandidate{
+				V: uint64(c.V), HomeWeight: c.HomeWeight, TargetWeight: c.TargetWeight,
+				Edges: make(map[uint64]float64, len(c.Edges)),
+			}
+			for u, w := range c.Edges {
+				wc.Edges[uint64(u)] = w
+			}
+			wire.Candidates = append(wire.Candidates, wc)
+		}
+		var reply exchangeReply
+		if err := s.controlCall(peer, ctlExchange, wire, &reply); err != nil {
+			return 0, err
+		}
+		if reply.Rejected {
+			continue // try the next-best peer (Algorithm 1)
+		}
+		moved := 0
+		for _, v := range reply.Accepted {
+			ref, ok := s.refOf(v)
+			if !ok {
+				continue
+			}
+			if err := s.Migrate(ref, peer); err == nil {
+				moved++
+			}
+		}
+		moved += len(reply.Counter) // the peer migrates these toward us
+		if moved > 0 {
+			s.markExchanged()
+			return moved, nil
+		}
+	}
+	return 0, nil
+}
+
+// handleExchange is the receiving side of Algorithm 1 (steps 2–4).
+func (s *System) handleExchange(payload []byte, from transport.NodeID) ([]byte, error) {
+	var wire exchangeWire
+	if err := codec.Unmarshal(payload, &wire); err != nil {
+		return nil, err
+	}
+	if s.exchangeCooling(s.cfg.ExchangeRejectWindow) {
+		return codec.Marshal(exchangeReply{Rejected: true})
+	}
+	opts := partition.Options{
+		CandidateSetSize:   wire.Opts.CandidateSetSize,
+		ImbalanceTolerance: wire.Opts.ImbalanceTolerance,
+		MinScore:           wire.Opts.MinScore,
+	}
+	req := partition.ExchangeRequest{
+		From: graph.ServerID(wire.FromIndex), To: s.selfIndex(),
+		FromPopulation: wire.FromPopulation,
+	}
+	for _, wc := range wire.Candidates {
+		c := partition.Candidate{
+			V: graph.Vertex(wc.V), HomeWeight: wc.HomeWeight, TargetWeight: wc.TargetWeight,
+			Edges: make(map[graph.Vertex]float64, len(wc.Edges)),
+		}
+		for u, w := range wc.Edges {
+			c.Edges[graph.Vertex(u)] = w
+		}
+		req.Candidates = append(req.Candidates, c)
+	}
+
+	exchangeMu.Lock()
+	s.monMu.Lock()
+	snap := s.monitor.Snapshot()
+	s.monMu.Unlock()
+	local := s.localVertices()
+	resp := partition.DecideExchange(opts, snap, sysLocator{s: s}, req, local, len(local))
+	exchangeMu.Unlock()
+
+	reply := exchangeReply{}
+	for _, v := range resp.Accepted {
+		reply.Accepted = append(reply.Accepted, uint64(v))
+	}
+	for _, v := range resp.Counter {
+		reply.Counter = append(reply.Counter, uint64(v))
+	}
+	if len(reply.Accepted)+len(reply.Counter) > 0 {
+		s.markExchanged()
+	}
+	// Counter-migrations run asynchronously: performing them inline would
+	// block the receive stage on control round trips back to the initiator.
+	if len(resp.Counter) > 0 {
+		counters := append([]graph.Vertex(nil), resp.Counter...)
+		go func() {
+			for _, v := range counters {
+				if ref, ok := s.refOf(uint64(v)); ok {
+					_ = s.Migrate(ref, from)
+				}
+			}
+		}()
+	}
+	return codec.Marshal(reply)
+}

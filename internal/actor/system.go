@@ -1,0 +1,603 @@
+package actor
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"actop/internal/codec"
+	"actop/internal/partition"
+	"actop/internal/seda"
+	"actop/internal/transport"
+)
+
+// Errors surfaced by calls.
+var (
+	// ErrTimeout is returned when a call's reply does not arrive in time.
+	ErrTimeout = errors.New("actor: call timeout")
+	// ErrUnknownType is returned when calling an unregistered actor type.
+	ErrUnknownType = errors.New("actor: unknown actor type")
+	// ErrOverloaded is returned when a stage queue rejects work.
+	ErrOverloaded = errors.New("actor: node overloaded")
+	// ErrStopped is returned after Stop.
+	ErrStopped = errors.New("actor: system stopped")
+)
+
+const redirectPrefix = "__redirect:"
+
+// control verbs (KindControl envelopes).
+const (
+	ctlDirLookup   = "dir.lookup"
+	ctlDirUpdate   = "dir.update"
+	ctlDirRemove   = "dir.remove"
+	ctlMigratePut  = "migrate.put"
+	ctlExchange    = "actop.exchange"
+	ctlPlacementOK = "ok"
+)
+
+// System is one node of the distributed actor runtime.
+type System struct {
+	cfg   Config
+	tr    transport.Transport
+	peers []transport.NodeID // sorted, includes self
+
+	recvStage *seda.Stage
+	workStage *seda.Stage
+	sendStage *seda.Stage
+
+	mu          sync.RWMutex
+	types       map[string]Factory
+	activations map[Ref]*activation
+	dirEntries  map[Ref]transport.NodeID // entries this node owns (hash-homed)
+	locCache    map[Ref]transport.NodeID
+	vertexRefs  map[uint64]Ref // vertex id → ref (for migration decisions)
+	stopped     bool
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan *transport.Envelope
+	nextID  atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	monMu   sync.Mutex
+	monitor *partition.Monitor
+
+	// Counters (atomic; exported via Stats).
+	callsLocal, callsRemote, migrationsIn, migrationsOut, redirects atomic.Uint64
+}
+
+// NewSystem starts a node. The transport's handler is installed here; do
+// not share a transport between systems.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	peers := append([]transport.NodeID(nil), cfg.Peers...)
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	s := &System{
+		cfg:         cfg,
+		tr:          cfg.Transport,
+		peers:       peers,
+		types:       make(map[string]Factory),
+		activations: make(map[Ref]*activation),
+		dirEntries:  make(map[Ref]transport.NodeID),
+		locCache:    make(map[Ref]transport.NodeID),
+		vertexRefs:  make(map[uint64]Ref),
+		pending:     make(map[uint64]chan *transport.Envelope),
+		rng:         rand.New(rand.NewSource(cfg.Seed ^ int64(hashNode(cfg.Transport.Node())))),
+		monitor:     partition.NewMonitor(cfg.MonitorCapacity),
+	}
+	s.recvStage = seda.NewStage("receiver", cfg.QueueCap, cfg.ReceiverWorkers)
+	s.workStage = seda.NewStage("worker", cfg.QueueCap, cfg.Workers)
+	s.sendStage = seda.NewStage("sender", cfg.QueueCap, cfg.SenderWorkers)
+	s.tr.SetHandler(s.onEnvelope)
+	return s, nil
+}
+
+func hashNode(n transport.NodeID) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(n))
+	return h.Sum64()
+}
+
+// Node reports this node's id.
+func (s *System) Node() transport.NodeID { return s.tr.Node() }
+
+// Peers reports the cluster membership (sorted, includes self).
+func (s *System) Peers() []transport.NodeID {
+	out := make([]transport.NodeID, len(s.peers))
+	copy(out, s.peers)
+	return out
+}
+
+// RegisterType installs the factory for an actor type. Register the same
+// types on every node before traffic starts.
+func (s *System) RegisterType(name string, f Factory) {
+	s.mu.Lock()
+	s.types[name] = f
+	s.mu.Unlock()
+}
+
+// Stages exposes the SEDA stages (receive, work, send) for the thread
+// controller.
+func (s *System) Stages() (recv, work, send *seda.Stage) {
+	return s.recvStage, s.workStage, s.sendStage
+}
+
+// Stop shuts the node down: stages drain, the transport closes.
+func (s *System) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	s.tr.Close()
+	s.recvStage.Close()
+	s.workStage.Close()
+	s.sendStage.Close()
+}
+
+// Stats is a snapshot of node counters.
+type Stats struct {
+	Node           transport.NodeID
+	Activations    int
+	CallsLocal     uint64
+	CallsRemote    uint64
+	MigrationsIn   uint64
+	MigrationsOut  uint64
+	Redirects      uint64
+	MonitoredEdges int
+}
+
+// Stats snapshots the node counters.
+func (s *System) Stats() Stats {
+	s.mu.RLock()
+	n := len(s.activations)
+	s.mu.RUnlock()
+	s.monMu.Lock()
+	edges := s.monitor.EdgeCount()
+	s.monMu.Unlock()
+	return Stats{
+		Node:           s.Node(),
+		Activations:    n,
+		CallsLocal:     s.callsLocal.Load(),
+		CallsRemote:    s.callsRemote.Load(),
+		MigrationsIn:   s.migrationsIn.Load(),
+		MigrationsOut:  s.migrationsOut.Load(),
+		Redirects:      s.redirects.Load(),
+		MonitoredEdges: edges,
+	}
+}
+
+// Call invokes an actor from outside any actor (a frontend/client call).
+func (s *System) Call(to Ref, method string, args, reply interface{}) error {
+	return s.call(nil, to, method, args, reply)
+}
+
+// call is the shared invocation path. from is non-nil for actor→actor
+// calls (monitored as communication edges).
+func (s *System) call(from *Ref, to Ref, method string, args, reply interface{}) error {
+	s.mu.RLock()
+	stopped := s.stopped
+	_, known := s.types[to.Type]
+	s.mu.RUnlock()
+	if stopped {
+		return ErrStopped
+	}
+	if !known {
+		return fmt.Errorf("%w: %s", ErrUnknownType, to.Type)
+	}
+	var data []byte
+	if args != nil {
+		var err error
+		data, err = codec.Marshal(args)
+		if err != nil {
+			return err
+		}
+	}
+	if from != nil {
+		s.observeEdge(*from, to)
+	}
+	result, err := s.dispatch(to, method, data, 0)
+	if err != nil {
+		return err
+	}
+	if reply != nil {
+		return codec.Unmarshal(result, reply)
+	}
+	return nil
+}
+
+// dispatch routes one encoded invocation, following redirects.
+func (s *System) dispatch(to Ref, method string, args []byte, depth int) ([]byte, error) {
+	if depth > 3 {
+		return nil, fmt.Errorf("actor: too many redirects for %s", to)
+	}
+	node, err := s.locate(to, true)
+	if err != nil {
+		return nil, err
+	}
+	if node == s.Node() {
+		s.callsLocal.Add(1)
+		return s.invokeLocal(to, method, args)
+	}
+	s.callsRemote.Add(1)
+	res, err := s.remoteCall(node, to, method, args)
+	if err != nil {
+		var redir redirectError
+		if errors.As(err, &redir) {
+			s.redirects.Add(1)
+			s.cachePut(to, redir.node)
+			return s.dispatch(to, method, args, depth+1)
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+type redirectError struct{ node transport.NodeID }
+
+func (e redirectError) Error() string { return "actor: redirected to " + string(e.node) }
+
+// invokeLocal runs the invocation on the local activation (activating on
+// demand), synchronously from the caller's perspective.
+func (s *System) invokeLocal(to Ref, method string, args []byte) ([]byte, error) {
+	act, err := s.activationFor(to, true)
+	if err != nil {
+		return nil, err
+	}
+	if act == nil {
+		// We are not (or no longer) the host: redirect through routing.
+		node, err := s.locate(to, false)
+		if err != nil {
+			return nil, err
+		}
+		if node == s.Node() {
+			return nil, fmt.Errorf("actor: routing loop for %s", to)
+		}
+		return nil, redirectError{node: node}
+	}
+	type outcome struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	act.enqueue(invocation{
+		method: method,
+		args:   args,
+		respond: func(data []byte, err error) {
+			ch <- outcome{data: data, err: err}
+		},
+	}, s)
+	select {
+	case out := <-ch:
+		return out.data, out.err
+	case <-time.After(s.cfg.CallTimeout):
+		return nil, fmt.Errorf("%w: %s.%s", ErrTimeout, to, method)
+	}
+}
+
+// remoteCall performs one RPC through the send stage and waits for the
+// correlated reply.
+func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args []byte) ([]byte, error) {
+	id := s.nextID.Add(1)
+	ch := make(chan *transport.Envelope, 1)
+	s.pendMu.Lock()
+	s.pending[id] = ch
+	s.pendMu.Unlock()
+	defer func() {
+		s.pendMu.Lock()
+		delete(s.pending, id)
+		s.pendMu.Unlock()
+	}()
+
+	env := &transport.Envelope{
+		Kind: transport.KindCall, ID: id,
+		ActorType: to.Type, ActorKey: to.Key,
+		Method: method, Payload: args,
+	}
+	if err := s.sendStage.Submit(func() { _ = s.tr.Send(node, env) }); err != nil {
+		return nil, fmt.Errorf("%w: send queue", ErrOverloaded)
+	}
+	select {
+	case reply := <-ch:
+		if reply.Err != "" {
+			if strings.HasPrefix(reply.Err, redirectPrefix) {
+				return nil, redirectError{node: transport.NodeID(strings.TrimPrefix(reply.Err, redirectPrefix))}
+			}
+			return nil, errors.New(reply.Err)
+		}
+		return reply.Payload, nil
+	case <-time.After(s.cfg.CallTimeout):
+		return nil, fmt.Errorf("%w: %s.%s @%s", ErrTimeout, to, method, node)
+	}
+}
+
+// onEnvelope is the transport inbound handler: everything funnels through
+// the receive stage (deserialization/demux — Fig. 2).
+func (s *System) onEnvelope(env *transport.Envelope) {
+	e := env
+	if err := s.recvStage.Submit(func() { s.handle(e) }); err != nil {
+		// Receive queue full: reject calls outright (§6.1 saturation).
+		if e.Kind == transport.KindCall || e.Kind == transport.KindControl {
+			s.replyErr(e, ErrOverloaded.Error())
+		}
+	}
+}
+
+func (s *System) handle(env *transport.Envelope) {
+	switch env.Kind {
+	case transport.KindReply:
+		s.pendMu.Lock()
+		ch := s.pending[env.ID]
+		s.pendMu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- env:
+			default:
+			}
+		}
+	case transport.KindCall:
+		s.handleCall(env)
+	case transport.KindControl:
+		s.handleControl(env)
+	}
+}
+
+// handleCall delivers a remote invocation to the local activation, or
+// redirects the caller if the actor lives elsewhere now.
+func (s *System) handleCall(env *transport.Envelope) {
+	to := Ref{Type: env.ActorType, Key: env.ActorKey}
+	act, err := s.activationFor(to, true)
+	if err != nil {
+		s.replyErr(env, err.Error())
+		return
+	}
+	if act == nil {
+		node, lerr := s.locate(to, false)
+		if lerr != nil || node == s.Node() {
+			s.replyErr(env, fmt.Sprintf("actor: cannot route %s", to))
+			return
+		}
+		s.replyErr(env, redirectPrefix+string(node))
+		return
+	}
+	from := env.From
+	id := env.ID
+	act.enqueue(invocation{
+		method: env.Method,
+		args:   env.Payload,
+		respond: func(data []byte, err error) {
+			reply := &transport.Envelope{Kind: transport.KindReply, ID: id, Payload: data}
+			if err != nil {
+				reply.Err = err.Error()
+			}
+			if serr := s.sendStage.Submit(func() { _ = s.tr.Send(from, reply) }); serr != nil {
+				// Best effort under overload: send inline.
+				_ = s.tr.Send(from, reply)
+			}
+		},
+	}, s)
+}
+
+func (s *System) replyErr(env *transport.Envelope, msg string) {
+	reply := &transport.Envelope{Kind: transport.KindReply, ID: env.ID, Err: msg}
+	_ = s.tr.Send(env.From, reply)
+}
+
+// --- placement directory (hash-homed entries + per-node location cache) ---
+
+// directoryOwner is the node owning ref's placement entry.
+func (s *System) directoryOwner(ref Ref) transport.NodeID {
+	return s.peers[uint64(ref.Vertex())%uint64(len(s.peers))]
+}
+
+func (s *System) cacheGet(ref Ref) (transport.NodeID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.locCache[ref]
+	return n, ok
+}
+
+func (s *System) cachePut(ref Ref, node transport.NodeID) {
+	s.mu.Lock()
+	// Bound the cache crudely: reset when huge (old entries are evicted to
+	// keep space overhead low, §4.3).
+	if len(s.locCache) > 1<<17 {
+		s.locCache = make(map[Ref]transport.NodeID)
+	}
+	s.locCache[ref] = node
+	s.vertexRefs[uint64(ref.Vertex())] = ref
+	s.mu.Unlock()
+}
+
+// locate resolves ref's hosting node: local activation wins, then the
+// location cache, then the directory owner (placing the actor on a node
+// according to the placement policy when unregistered and place is true).
+func (s *System) locate(ref Ref, place bool) (transport.NodeID, error) {
+	s.mu.RLock()
+	_, local := s.activations[ref]
+	s.mu.RUnlock()
+	if local {
+		return s.Node(), nil
+	}
+	if n, ok := s.cacheGet(ref); ok {
+		return n, nil
+	}
+	owner := s.directoryOwner(ref)
+	if owner == s.Node() {
+		n, err := s.dirLookupLocal(ref, s.Node(), place)
+		if err != nil {
+			return "", err
+		}
+		s.cachePut(ref, n)
+		return n, nil
+	}
+	// Remote directory lookup (control RPC).
+	var node string
+	err := s.controlCall(owner, ctlDirLookup, dirRequest{
+		Type: ref.Type, Key: ref.Key, Suggest: string(s.Node()), Place: place,
+	}, &node)
+	if err != nil {
+		return "", err
+	}
+	n := transport.NodeID(node)
+	s.cachePut(ref, n)
+	return n, nil
+}
+
+// dirLookupLocal consults/updates this node's owned directory entries.
+func (s *System) dirLookupLocal(ref Ref, suggest transport.NodeID, place bool) (transport.NodeID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.dirEntries[ref]; ok {
+		return n, nil
+	}
+	if !place {
+		return "", fmt.Errorf("actor: %s not registered", ref)
+	}
+	var n transport.NodeID
+	switch s.cfg.Placement {
+	case PlaceLocal:
+		n = suggest
+	default:
+		s.rngMu.Lock()
+		n = s.peers[s.rng.Intn(len(s.peers))]
+		s.rngMu.Unlock()
+	}
+	s.dirEntries[ref] = n
+	return n, nil
+}
+
+// dirRequest is the directory control payload.
+type dirRequest struct {
+	Type, Key string
+	Suggest   string
+	Place     bool
+	NewNode   string // for updates
+}
+
+// controlCall is a generic request/response over KindControl envelopes.
+func (s *System) controlCall(node transport.NodeID, verb string, args, reply interface{}) error {
+	data, err := codec.Marshal(args)
+	if err != nil {
+		return err
+	}
+	if node == s.Node() {
+		out, cerr := s.handleControlVerb(verb, data, s.Node())
+		if cerr != nil {
+			return cerr
+		}
+		if reply != nil {
+			return codec.Unmarshal(out, reply)
+		}
+		return nil
+	}
+	id := s.nextID.Add(1)
+	ch := make(chan *transport.Envelope, 1)
+	s.pendMu.Lock()
+	s.pending[id] = ch
+	s.pendMu.Unlock()
+	defer func() {
+		s.pendMu.Lock()
+		delete(s.pending, id)
+		s.pendMu.Unlock()
+	}()
+	env := &transport.Envelope{Kind: transport.KindControl, ID: id, Method: verb, Payload: data}
+	if err := s.tr.Send(node, env); err != nil {
+		return err
+	}
+	select {
+	case r := <-ch:
+		if r.Err != "" {
+			return errors.New(r.Err)
+		}
+		if reply != nil {
+			return codec.Unmarshal(r.Payload, reply)
+		}
+		return nil
+	case <-time.After(s.cfg.CallTimeout):
+		return fmt.Errorf("%w: control %s @%s", ErrTimeout, verb, node)
+	}
+}
+
+func (s *System) handleControl(env *transport.Envelope) {
+	out, err := s.handleControlVerb(env.Method, env.Payload, env.From)
+	reply := &transport.Envelope{Kind: transport.KindReply, ID: env.ID, Payload: out}
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	_ = s.tr.Send(env.From, reply)
+}
+
+func (s *System) handleControlVerb(verb string, payload []byte, from transport.NodeID) ([]byte, error) {
+	switch verb {
+	case ctlDirLookup:
+		var req dirRequest
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		node, err := s.dirLookupLocal(Ref{Type: req.Type, Key: req.Key}, transport.NodeID(req.Suggest), req.Place)
+		if err != nil {
+			return nil, err
+		}
+		return codec.Marshal(string(node))
+	case ctlDirUpdate:
+		var req dirRequest
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		ref := Ref{Type: req.Type, Key: req.Key}
+		s.mu.Lock()
+		s.dirEntries[ref] = transport.NodeID(req.NewNode)
+		s.locCache[ref] = transport.NodeID(req.NewNode)
+		s.mu.Unlock()
+		return codec.Marshal(ctlPlacementOK)
+	case ctlDirRemove:
+		var req dirRequest
+		if err := codec.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		ref := Ref{Type: req.Type, Key: req.Key}
+		s.mu.Lock()
+		delete(s.dirEntries, ref)
+		delete(s.locCache, ref)
+		s.mu.Unlock()
+		return codec.Marshal(ctlPlacementOK)
+	case ctlMigratePut:
+		return s.handleMigratePut(payload)
+	case ctlExchange:
+		return s.handleExchange(payload, from)
+	default:
+		return nil, fmt.Errorf("actor: unknown control verb %q", verb)
+	}
+}
+
+// observeEdge feeds the communication monitor (§4.3) and remembers the
+// vertex↔ref mapping for migration decisions.
+func (s *System) observeEdge(from, to Ref) {
+	s.mu.Lock()
+	s.vertexRefs[uint64(from.Vertex())] = from
+	s.vertexRefs[uint64(to.Vertex())] = to
+	s.mu.Unlock()
+	s.monMu.Lock()
+	s.monitor.ObserveMessage(from.Vertex(), to.Vertex(), 1)
+	s.monMu.Unlock()
+}
+
+// refOf maps a monitored vertex back to its ref.
+func (s *System) refOf(v uint64) (Ref, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.vertexRefs[v]
+	return r, ok
+}

@@ -1,0 +1,45 @@
+// Package codec provides argument serialization for RPC and deep copying
+// for LPC in the actor runtime.
+//
+// Orleans serializes arguments for remote calls and deep-copies them for
+// local calls so actors never share mutable state (§2). This package does
+// both through encoding/gob: values cross actor boundaries only by value.
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Register makes a concrete type encodable when passed through interface
+// fields (a thin wrapper over gob.Register so callers need not import gob).
+func Register(v interface{}) { gob.Register(v) }
+
+// Marshal serializes v.
+func Marshal(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("codec: marshal %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal deserializes data into v (a non-nil pointer).
+func Unmarshal(data []byte, v interface{}) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("codec: unmarshal into %T: %w", v, err)
+	}
+	return nil
+}
+
+// DeepCopy copies src into dst (both pointers to the same type) through a
+// full encode/decode round trip, guaranteeing the isolation semantics of a
+// local actor call: no aliasing survives.
+func DeepCopy(dst, src interface{}) error {
+	data, err := Marshal(src)
+	if err != nil {
+		return err
+	}
+	return Unmarshal(data, dst)
+}

@@ -1,0 +1,234 @@
+// Package core is ActOp itself: the runtime optimizer that attaches to one
+// node of the actor system and continuously applies the paper's two
+// mechanisms —
+//
+//  1. locality-aware actor partitioning (§4): periodic pairwise exchanges
+//     driven by the node's Space-Saving communication monitor, migrating
+//     frequently-communicating actors onto the same node; and
+//  2. latency-optimized thread allocation (§5): periodic re-solves of the
+//     regularized queuing problem (Theorem 2) from live stage measurements,
+//     resizing the SEDA stage pools.
+//
+// Attach one Optimizer per node:
+//
+//	opt := core.NewOptimizer(sys, core.DefaultOptions())
+//	opt.Start()
+//	defer opt.Stop()
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"actop/internal/actor"
+	"actop/internal/partition"
+	"actop/internal/queuing"
+	"actop/internal/seda"
+)
+
+// Options tunes the optimizer.
+type Options struct {
+	// Partitioning toggles the §4 mechanism.
+	Partitioning bool
+	// PartitionPeriod is how often this node initiates an exchange round.
+	PartitionPeriod time.Duration
+	// RejectWindow is Algorithm 1's per-node exchange cooldown on the
+	// initiating side (the paper uses one minute). Set the receiving-side
+	// window via actor.Config.ExchangeRejectWindow.
+	RejectWindow time.Duration
+	// PartitionOpts configures candidate sets and the balance tolerance δ.
+	PartitionOpts partition.Options
+
+	// ThreadTuning toggles the §5 mechanism.
+	ThreadTuning bool
+	// ThreadPeriod is the estimate→solve→resize control period.
+	ThreadPeriod time.Duration
+	// Eta is the per-thread latency penalty η (calibrate per deployment,
+	// §5.3; the paper uses 100µs/thread on its hardware).
+	Eta float64
+	// Processors is the core count handed to the queuing model
+	// (default runtime.NumCPU).
+	Processors int
+	// BudgetFactor relaxes the Σt·β ≤ p constraint for stages that idle
+	// between events (see internal/sim's calibration notes). 1 = strict.
+	BudgetFactor float64
+	// WorkerBeta is the worker stage's CPU fraction while processing
+	// (β of §5.2); below 1 when actors make synchronous blocking calls.
+	WorkerBeta float64
+	// MinSamples skips a retune when fewer events were observed (avoids
+	// resizing on noise).
+	MinSamples uint64
+}
+
+// DefaultOptions enables both mechanisms with the paper's cadences.
+func DefaultOptions() Options {
+	return Options{
+		Partitioning:    true,
+		PartitionPeriod: 15 * time.Second,
+		RejectWindow:    time.Minute,
+		PartitionOpts:   partition.DefaultOptions(),
+		ThreadTuning:    true,
+		ThreadPeriod:    10 * time.Second,
+		Eta:             100e-6,
+		Processors:      runtime.NumCPU(),
+		BudgetFactor:    1.6,
+		WorkerBeta:      1.0,
+		MinSamples:      64,
+	}
+}
+
+// Optimizer runs ActOp's control loops for one node.
+type Optimizer struct {
+	sys  *actor.System
+	opts Options
+
+	mu      sync.Mutex
+	started bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	// Counters.
+	exchangeRounds, actorsMoved, retunes int
+}
+
+// NewOptimizer binds an optimizer to a node.
+func NewOptimizer(sys *actor.System, opts Options) *Optimizer {
+	if opts.Processors <= 0 {
+		opts.Processors = runtime.NumCPU()
+	}
+	if opts.BudgetFactor < 1 {
+		opts.BudgetFactor = 1
+	}
+	if opts.WorkerBeta <= 0 || opts.WorkerBeta > 1 {
+		opts.WorkerBeta = 1
+	}
+	if opts.PartitionPeriod <= 0 {
+		opts.PartitionPeriod = 15 * time.Second
+	}
+	if opts.ThreadPeriod <= 0 {
+		opts.ThreadPeriod = 10 * time.Second
+	}
+	if opts.RejectWindow <= 0 {
+		opts.RejectWindow = time.Minute
+	}
+	return &Optimizer{sys: sys, opts: opts, stop: make(chan struct{})}
+}
+
+// Start launches the control loops.
+func (o *Optimizer) Start() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.started {
+		return
+	}
+	o.started = true
+	if o.opts.Partitioning {
+		o.wg.Add(1)
+		go o.partitionLoop()
+	}
+	if o.opts.ThreadTuning {
+		o.wg.Add(1)
+		go o.threadLoop()
+	}
+}
+
+// Stop halts the control loops (idempotent).
+func (o *Optimizer) Stop() {
+	o.mu.Lock()
+	if !o.started {
+		o.mu.Unlock()
+		return
+	}
+	o.started = false
+	close(o.stop)
+	o.mu.Unlock()
+	o.wg.Wait()
+	o.mu.Lock()
+	o.stop = make(chan struct{})
+	o.mu.Unlock()
+}
+
+// Counters reports (exchange rounds, actors moved, retunes) so far.
+func (o *Optimizer) Counters() (rounds, moved, retunes int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.exchangeRounds, o.actorsMoved, o.retunes
+}
+
+func (o *Optimizer) partitionLoop() {
+	defer o.wg.Done()
+	t := time.NewTicker(o.opts.PartitionPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-o.stop:
+			return
+		case <-t.C:
+			moved, err := o.sys.ExchangeRound(o.opts.PartitionOpts, o.opts.RejectWindow)
+			o.mu.Lock()
+			o.exchangeRounds++
+			if err == nil {
+				o.actorsMoved += moved
+			}
+			o.mu.Unlock()
+		}
+	}
+}
+
+func (o *Optimizer) threadLoop() {
+	defer o.wg.Done()
+	t := time.NewTicker(o.opts.ThreadPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-o.stop:
+			return
+		case <-t.C:
+			o.Retune()
+		}
+	}
+}
+
+// Retune performs one §5 control cycle immediately: snapshot the stages,
+// build the queuing model, solve (∗), install the allocation. Exposed for
+// tests and manual control.
+func (o *Optimizer) Retune() {
+	recv, work, send := o.sys.Stages()
+	stages := []*seda.Stage{recv, work, send}
+	betas := []float64{1, o.opts.WorkerBeta, 1}
+
+	var model queuing.Model
+	model.Processors = float64(o.opts.Processors) * o.opts.BudgetFactor
+	model.Eta = o.opts.Eta
+	var total uint64
+	period := o.opts.ThreadPeriod.Seconds()
+	for i, st := range stages {
+		snap := st.Snapshot()
+		total += snap.Processed
+		qs := queuing.Stage{Name: snap.Name, Beta: betas[i]}
+		if snap.Processed > 0 && snap.BusyTime > 0 {
+			// Mean wall time per event approximates 1/s (β folds blocking
+			// into the CPU share; see Options.WorkerBeta).
+			mean := snap.BusyTime.Seconds() / float64(snap.Processed)
+			qs.ServiceRate = 1 / mean
+			qs.Lambda = float64(snap.Arrivals) / period
+		} else {
+			qs.ServiceRate = 1000
+		}
+		model.Stages = append(model.Stages, qs)
+	}
+	if total < o.opts.MinSamples {
+		return
+	}
+	sol, err := queuing.Solve(&model)
+	if err != nil {
+		return // keep the current allocation on infeasible epochs
+	}
+	for i, st := range stages {
+		st.SetWorkers(sol.Integer[i])
+	}
+	o.mu.Lock()
+	o.retunes++
+	o.mu.Unlock()
+}

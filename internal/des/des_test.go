@@ -1,0 +1,222 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var k Kernel
+	var order []int
+	k.At(3*time.Second, func() { order = append(order, 3) })
+	k.At(1*time.Second, func() { order = append(order, 1) })
+	k.At(2*time.Second, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("Now = %v", k.Now())
+	}
+	if k.Fired() != 3 {
+		t.Fatalf("Fired = %d", k.Fired())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(time.Second, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestPastEventClampsToNow(t *testing.T) {
+	var k Kernel
+	fired := time.Duration(-1)
+	k.At(5*time.Second, func() {
+		k.At(time.Second, func() { fired = k.Now() }) // in the past
+	})
+	k.Run()
+	if fired != 5*time.Second {
+		t.Fatalf("past event fired at %v, want clamp to 5s", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var k Kernel
+	fired := false
+	e := k.After(time.Second, func() { fired = true })
+	e.Cancel()
+	if !e.Canceled() {
+		t.Fatal("Canceled() false")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	var nilEv *Event
+	nilEv.Cancel() // must not panic
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	var k Kernel
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			k.After(time.Second, chain)
+		}
+	}
+	k.After(time.Second, chain)
+	k.Run()
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	if k.Now() != 5*time.Second {
+		t.Fatalf("Now = %v", k.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var k Kernel
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		d := time.Duration(i) * time.Second
+		k.At(d, func() { fired = append(fired, d) })
+	}
+	k.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("Now = %v", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d", k.Pending())
+	}
+	// Idle advance.
+	k2 := &Kernel{}
+	k2.RunUntil(10 * time.Second)
+	if k2.Now() != 10*time.Second {
+		t.Fatalf("idle RunUntil Now = %v", k2.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	var k Kernel
+	count := 0
+	var tk *Ticker
+	tk = k.Every(time.Second, -1, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	k.RunUntil(10 * time.Second)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3", count)
+	}
+}
+
+func TestTickerPhase(t *testing.T) {
+	var k Kernel
+	var first Time
+	tk := k.Every(time.Minute, 10*time.Second, func() {
+		if first == 0 {
+			first = k.Now()
+		}
+	})
+	k.RunUntil(2 * time.Minute)
+	tk.Stop()
+	if first != 10*time.Second {
+		t.Fatalf("first firing at %v, want 10s", first)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		var k Kernel
+		r := NewRand(42)
+		var stamps []Time
+		var gen func()
+		n := 0
+		gen = func() {
+			stamps = append(stamps, k.Now())
+			n++
+			if n < 100 {
+				k.After(r.Exp(time.Millisecond), gen)
+			}
+		}
+		k.After(0, gen)
+		k.Run()
+		return stamps
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(1)
+	var sum time.Duration
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(10 * time.Millisecond)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-float64(10*time.Millisecond)) > float64(300*time.Microsecond) {
+		t.Fatalf("exp mean = %v, want ~10ms", time.Duration(mean))
+	}
+	if r.Exp(0) != 0 {
+		t.Fatal("Exp(0) should be 0")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := NewRand(2)
+	lo, hi := 20*time.Minute, 30*time.Minute
+	for i := 0; i < 10_000; i++ {
+		v := r.Uniform(lo, hi)
+		if v < lo || v >= hi {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+	if r.Uniform(hi, lo) != hi {
+		t.Fatal("inverted bounds should return lo")
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var k Kernel
+		prev := Time(0)
+		ok := true
+		for _, d := range delays {
+			k.After(time.Duration(d)*time.Millisecond, func() {
+				if k.Now() < prev {
+					ok = false
+				}
+				prev = k.Now()
+			})
+		}
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

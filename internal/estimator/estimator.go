@@ -1,0 +1,153 @@
+// Package estimator infers the queuing-model parameters (λ_i, s_i, β_i)
+// from runtime measurements, implementing §5.4 of the paper.
+//
+// Directly measurable per processed event are the wall-clock time z_i and
+// the CPU time x_i (Fig. 9). The blocking time w_i is NOT directly
+// measurable without OS support; instead the ready time r_i is estimated
+// via the fairness assumption r_i/x_i = α for all stages, where α is
+// learned from the stages known to make no synchronous calls (for which
+// β = 1 and hence r = z − x). Then per stage:
+//
+//	r_i = α·x_i,   s_i = 1/(z_i − r_i),   β_i = x_i/(z_i − r_i).
+package estimator
+
+import (
+	"fmt"
+	"time"
+
+	"actop/internal/queuing"
+)
+
+// StageSpec declares one monitored stage.
+type StageSpec struct {
+	Name string
+	// NonBlocking marks stages known to make no synchronous calls; they
+	// anchor the α estimate (the set S0 of §5.4). At least one stage must
+	// be non-blocking.
+	NonBlocking bool
+}
+
+// Estimator accumulates per-event measurements per stage over an epoch and
+// converts them into queuing.Stage parameters. It is not safe for
+// concurrent use; the runtime funnels samples from the stage instrumentation
+// through a single collector, as the paper's implementation does.
+type Estimator struct {
+	specs []StageSpec
+	acc   []accumulator
+}
+
+type accumulator struct {
+	count uint64
+	sumZ  float64 // seconds
+	sumX  float64 // seconds
+}
+
+// New creates an estimator for the given stages.
+func New(specs []StageSpec) (*Estimator, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("estimator: no stages")
+	}
+	anyAnchor := false
+	for _, s := range specs {
+		if s.NonBlocking {
+			anyAnchor = true
+		}
+	}
+	if !anyAnchor {
+		return nil, fmt.Errorf("estimator: at least one stage must be NonBlocking to anchor α")
+	}
+	return &Estimator{specs: specs, acc: make([]accumulator, len(specs))}, nil
+}
+
+// Record adds one processed event's measurements for stage i: z is the
+// wall-clock time from dequeue to completion, x the CPU time consumed.
+func (e *Estimator) Record(stage int, z, x time.Duration) {
+	if stage < 0 || stage >= len(e.acc) {
+		return
+	}
+	if x <= 0 {
+		x = time.Nanosecond // a processed event burned at least some CPU
+	}
+	if z < x {
+		z = x // wall clock cannot be under CPU time for one event
+	}
+	a := &e.acc[stage]
+	a.count++
+	a.sumZ += z.Seconds()
+	a.sumX += x.Seconds()
+}
+
+// Count reports the samples recorded for stage i in the current epoch.
+func (e *Estimator) Count(stage int) uint64 {
+	if stage < 0 || stage >= len(e.acc) {
+		return 0
+	}
+	return e.acc[stage].count
+}
+
+// Alpha computes the current ready-time ratio estimate
+// α = mean over non-blocking stages of (z−x)/x, using epoch means.
+func (e *Estimator) Alpha() float64 {
+	var sum float64
+	var n int
+	for i, spec := range e.specs {
+		if !spec.NonBlocking || e.acc[i].count == 0 {
+			continue
+		}
+		z := e.acc[i].sumZ / float64(e.acc[i].count)
+		x := e.acc[i].sumX / float64(e.acc[i].count)
+		if x <= 0 {
+			continue
+		}
+		r := (z - x) / x
+		if r < 0 {
+			r = 0
+		}
+		sum += r
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Estimate converts the epoch's samples into queuing.Stage parameters and
+// resets the epoch. elapsed is the epoch duration (for λ = count/elapsed).
+// Stages with no samples get λ=0 and carry the fallback service rate
+// (1 event/ms) so the optimizer still has a usable model.
+func (e *Estimator) Estimate(elapsed time.Duration) []queuing.Stage {
+	alpha := e.Alpha()
+	out := make([]queuing.Stage, len(e.specs))
+	for i, spec := range e.specs {
+		a := e.acc[i]
+		st := queuing.Stage{Name: spec.Name}
+		if a.count == 0 || elapsed <= 0 {
+			st.ServiceRate = 1000
+			st.Beta = 1
+			out[i] = st
+			continue
+		}
+		z := a.sumZ / float64(a.count)
+		x := a.sumX / float64(a.count)
+		r := alpha * x
+		denom := z - r // estimated x + w
+		if denom < x {
+			// The fairness assumption overshot (z−r < x is physically
+			// impossible since z = x + w + r with w ≥ 0); clamp to pure-CPU.
+			denom = x
+		}
+		st.Lambda = float64(a.count) / elapsed.Seconds()
+		st.ServiceRate = 1 / denom
+		st.Beta = x / denom
+		if st.Beta > 1 {
+			st.Beta = 1
+		}
+		if st.Beta <= 0 {
+			st.Beta = 1e-6
+		}
+		out[i] = st
+	}
+	e.acc = make([]accumulator, len(e.specs))
+	return out
+}

@@ -1,0 +1,179 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"actop/internal/queuing"
+)
+
+func specs() []StageSpec {
+	return []StageSpec{
+		{Name: "receiver", NonBlocking: true},
+		{Name: "worker", NonBlocking: false},
+		{Name: "sender", NonBlocking: true},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty specs should error")
+	}
+	if _, err := New([]StageSpec{{Name: "a"}}); err == nil {
+		t.Fatal("no non-blocking anchor should error")
+	}
+	if _, err := New(specs()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// feed synthesizes n events for a stage with true compute x, blocking w and
+// ready-time ratio α (so z = x + w + α·x).
+func feed(e *Estimator, stage, n int, x, w time.Duration, alpha float64) {
+	r := time.Duration(alpha * float64(x))
+	z := x + w + r
+	for i := 0; i < n; i++ {
+		e.Record(stage, z, x)
+	}
+}
+
+func TestEstimateRecoversParameters(t *testing.T) {
+	e, err := New(specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const alpha = 0.5
+	xr, wr := 200*time.Microsecond, time.Duration(0)      // receiver: pure CPU
+	xw, ww := 500*time.Microsecond, 1500*time.Microsecond // worker: blocks
+	xs, ws := 250*time.Microsecond, time.Duration(0)      // sender: pure CPU
+	feed(e, 0, 1000, xr, wr, alpha)
+	feed(e, 1, 2000, xw, ww, alpha)
+	feed(e, 2, 1000, xs, ws, alpha)
+
+	if got := e.Alpha(); math.Abs(got-alpha) > 1e-9 {
+		t.Fatalf("Alpha = %v, want %v", got, alpha)
+	}
+	stages := e.Estimate(time.Second)
+	if len(stages) != 3 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	// λ = events/elapsed.
+	if math.Abs(stages[0].Lambda-1000) > 1e-6 || math.Abs(stages[1].Lambda-2000) > 1e-6 {
+		t.Errorf("lambdas = %v, %v", stages[0].Lambda, stages[1].Lambda)
+	}
+	// Receiver: s = 1/x, β = 1.
+	wantS0 := 1 / xr.Seconds()
+	if rel(stages[0].ServiceRate, wantS0) > 0.01 {
+		t.Errorf("receiver s = %v, want %v", stages[0].ServiceRate, wantS0)
+	}
+	if math.Abs(stages[0].Beta-1) > 0.01 {
+		t.Errorf("receiver β = %v, want 1", stages[0].Beta)
+	}
+	// Worker: s = 1/(x+w), β = x/(x+w).
+	wantS1 := 1 / (xw + ww).Seconds()
+	wantB1 := xw.Seconds() / (xw + ww).Seconds()
+	if rel(stages[1].ServiceRate, wantS1) > 0.01 {
+		t.Errorf("worker s = %v, want %v", stages[1].ServiceRate, wantS1)
+	}
+	if math.Abs(stages[1].Beta-wantB1) > 0.01 {
+		t.Errorf("worker β = %v, want %v", stages[1].Beta, wantB1)
+	}
+}
+
+func rel(got, want float64) float64 {
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestEstimateResetsEpoch(t *testing.T) {
+	e, _ := New(specs())
+	feed(e, 0, 100, time.Millisecond, 0, 0)
+	_ = e.Estimate(time.Second)
+	if e.Count(0) != 0 {
+		t.Fatal("epoch not reset")
+	}
+	stages := e.Estimate(time.Second)
+	if stages[0].Lambda != 0 {
+		t.Fatalf("empty epoch λ = %v", stages[0].Lambda)
+	}
+	if stages[0].ServiceRate <= 0 || stages[0].Beta <= 0 {
+		t.Fatal("fallback parameters must stay usable")
+	}
+}
+
+func TestRecordClampsPathologies(t *testing.T) {
+	e, _ := New(specs())
+	e.Record(0, 100*time.Microsecond, 200*time.Microsecond) // z < x
+	e.Record(0, 100*time.Microsecond, 0)                    // x = 0
+	e.Record(-1, time.Second, time.Second)                  // bad index: ignored
+	e.Record(99, time.Second, time.Second)                  // bad index: ignored
+	if e.Count(0) != 2 {
+		t.Fatalf("Count = %d, want 2", e.Count(0))
+	}
+	stages := e.Estimate(time.Second)
+	if stages[0].Beta <= 0 || stages[0].Beta > 1 {
+		t.Fatalf("β out of range: %v", stages[0].Beta)
+	}
+	if math.IsInf(stages[0].ServiceRate, 0) || math.IsNaN(stages[0].ServiceRate) {
+		t.Fatalf("service rate pathological: %v", stages[0].ServiceRate)
+	}
+}
+
+func TestAlphaOnlyFromAnchors(t *testing.T) {
+	e, _ := New(specs())
+	// Worker (blocking) has a huge apparent (z−x)/x from its waits; it must
+	// not contaminate α.
+	feed(e, 1, 100, 100*time.Microsecond, 10*time.Millisecond, 0.25)
+	feed(e, 0, 100, 100*time.Microsecond, 0, 0.25)
+	if got := e.Alpha(); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("Alpha = %v, want 0.25 (anchored)", got)
+	}
+}
+
+func TestEstimatedModelFeedsSolver(t *testing.T) {
+	// End-to-end §5 pipeline: measurements → estimator → Theorem 2.
+	e, _ := New(specs())
+	feed(e, 0, 15000, 50*time.Microsecond, 0, 0.3)
+	feed(e, 1, 15000, 300*time.Microsecond, 200*time.Microsecond, 0.3)
+	feed(e, 2, 15000, 80*time.Microsecond, 0, 0.3)
+	m := &queuing.Model{Stages: e.Estimate(time.Second), Processors: 8, Eta: 1e-4}
+	sol, err := queuing.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range sol.Integer {
+		if a < 1 {
+			t.Fatalf("stage %d got %d threads", i, a)
+		}
+	}
+	// Worker is the heaviest (λ·(x+w)) stage; it must get the most threads.
+	if sol.Integer[1] < sol.Integer[0] || sol.Integer[1] < sol.Integer[2] {
+		t.Errorf("worker threads %v not dominant: %v", sol.Integer[1], sol.Integer)
+	}
+}
+
+func TestBetaNeverExceedsOneProperty(t *testing.T) {
+	f := func(zs, xs []uint32) bool {
+		e, _ := New(specs())
+		n := len(zs)
+		if len(xs) < n {
+			n = len(xs)
+		}
+		for i := 0; i < n; i++ {
+			e.Record(i%3, time.Duration(zs[i])*time.Microsecond, time.Duration(xs[i])*time.Microsecond)
+		}
+		for _, st := range e.Estimate(time.Second) {
+			if st.Beta <= 0 || st.Beta > 1 {
+				return false
+			}
+			if st.ServiceRate <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

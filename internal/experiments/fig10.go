@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"actop/internal/metrics"
+)
+
+// Section3Result is the §3 motivation measurement: the same workload under
+// random placement and under oracle co-location.
+type Section3Result struct {
+	Baseline, Oracle HaloResult
+}
+
+// RunSection3 regenerates the §3 numbers (random placement: 41/450/736 ms
+// median/p95/p99, ≈90% remote on 10 servers; co-located: 24/100/225 ms).
+func RunSection3(base HaloOpts) Section3Result {
+	b := base
+	b.Partitioning, b.ThreadTuning, b.Oracle = false, false, false
+	o := base
+	o.Partitioning, o.ThreadTuning = false, false
+	o.Oracle = true
+	return Section3Result{Baseline: RunHalo(b), Oracle: RunHalo(o)}
+}
+
+// Render prints the two rows.
+func (r Section3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("§3 — random placement vs co-located actors (same workload)\n")
+	b.WriteString("paper: random 41/450/736 ms (p50/p95/p99), ~90% remote; co-located 24/100/225 ms\n")
+	fmt.Fprintf(&b, "random    : %s  remote %.0f%%  cpu %.0f%%\n",
+		r.Baseline.Latency, 100*r.Baseline.RemoteFraction, 100*r.Baseline.CPUUtilization)
+	fmt.Fprintf(&b, "co-located: %s  remote %.0f%%  cpu %.0f%%\n",
+		r.Oracle.Latency, 100*r.Oracle.RemoteFraction, 100*r.Oracle.CPUUtilization)
+	fmt.Fprintf(&b, "improvement: median %.0f%%, p95 %.0f%%, p99 %.0f%%\n",
+		metrics.Improvement(r.Baseline.Latency.Median, r.Oracle.Latency.Median),
+		metrics.Improvement(r.Baseline.Latency.P95, r.Oracle.Latency.P95),
+		metrics.Improvement(r.Baseline.Latency.P99, r.Oracle.Latency.P99))
+	return b.String()
+}
+
+// Fig10aResult is the convergence experiment: remote-message fraction and
+// migration rate over time, from a cold random placement.
+type Fig10aResult struct {
+	Partitioned HaloResult
+	Baseline    HaloResult
+}
+
+// RunFig10a regenerates Fig. 10(a): within ~10 minutes the partitioner
+// brings remote messaging from ~90% down to ~12% and the migration rate
+// settles at the workload's churn rate (~1% of actors per minute).
+func RunFig10a(base HaloOpts) Fig10aResult {
+	p := base
+	p.Partitioning = true
+	p.Warmup = 0 // the transient IS the experiment
+	p.Measure = base.Warmup + base.Measure
+	b := base
+	b.Partitioning = false
+	b.Warmup = 0
+	b.Measure = p.Measure
+	return Fig10aResult{Partitioned: RunHalo(p), Baseline: RunHalo(b)}
+}
+
+// Render prints the two series.
+func (r Fig10aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10(a) — partitioning convergence\n")
+	b.WriteString("paper: remote msgs stabilize ≈12% within ~10 min (baseline ≈90%); moves settle at ≈1%/min of actors\n")
+	b.WriteString("time(s)  remote%(ActOp)  moves/min  remote%(baseline)\n")
+	n := len(r.Partitioned.RemoteSeries.Points)
+	for i := 0; i < n; i++ {
+		p := r.Partitioned.RemoteSeries.Points[i]
+		mv := 0.0
+		if i < len(r.Partitioned.MoveSeries.Points) {
+			mv = r.Partitioned.MoveSeries.Points[i].Value
+		}
+		base := 0.0
+		if i < len(r.Baseline.RemoteSeries.Points) {
+			base = r.Baseline.RemoteSeries.Points[i].Value
+		}
+		fmt.Fprintf(&b, "%7.0f  %14.1f  %9.0f  %17.1f\n", p.At.Seconds(), 100*p.Value, mv, 100*base)
+	}
+	return b.String()
+}
+
+// Fig10bcResult carries the latency CDFs of Fig. 10(b) (end-to-end) and
+// Fig. 10(c) (server-to-server actor calls).
+type Fig10bcResult struct {
+	Baseline, Partitioned HaloResult
+}
+
+// RunFig10bc regenerates Fig. 10(b)/(c): latency CDFs at the top load with
+// and without ActOp partitioning.
+func RunFig10bc(base HaloOpts) Fig10bcResult {
+	b := base
+	b.Partitioning = false
+	p := base
+	p.Partitioning = true
+	return Fig10bcResult{Baseline: RunHalo(b), Partitioned: RunHalo(p)}
+}
+
+func renderCDF(b *strings.Builder, name string, base, opt []metrics.CDFPoint) {
+	fmt.Fprintf(b, "%s\nfraction   baseline(ms)   actop(ms)\n", name)
+	for i := 0; i < len(base) && i < len(opt); i += 4 {
+		fmt.Fprintf(b, "%8.2f %14.2f %11.2f\n", base[i].Fraction,
+			float64(base[i].Latency)/float64(time.Millisecond),
+			float64(opt[i].Latency)/float64(time.Millisecond))
+	}
+}
+
+// Render prints both CDFs and the headline quantiles.
+func (r Fig10bcResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10(b) — end-to-end latency CDF at top load\n")
+	b.WriteString("paper: medians 41→24 ms, p99 736→225 ms\n")
+	fmt.Fprintf(&b, "baseline : %s\n", r.Baseline.Latency)
+	fmt.Fprintf(&b, "actop    : %s\n", r.Partitioned.Latency)
+	renderCDF(&b, "CDF (end-to-end)", r.Baseline.LatencyCDF, r.Partitioned.LatencyCDF)
+	b.WriteString("\nFig. 10(c) — server-to-server (actor call) latency CDF\n")
+	b.WriteString("paper: medians 5→3 ms, p99 297→56 ms\n")
+	fmt.Fprintf(&b, "baseline : %s\n", r.Baseline.ActorCall)
+	fmt.Fprintf(&b, "actop    : %s\n", r.Partitioned.ActorCall)
+	renderCDF(&b, "CDF (actor call)", r.Baseline.ActorCallCDF, r.Partitioned.ActorCallCDF)
+	return b.String()
+}
+
+// LoadSweepRow is one load point of Fig. 10(d)/(e).
+type LoadSweepRow struct {
+	Load                  float64
+	Baseline, Partitioned HaloResult
+}
+
+// Fig10deResult is the load sweep behind Fig. 10(d) (latency improvement)
+// and Fig. 10(e) (CPU utilization).
+type Fig10deResult struct {
+	Rows []LoadSweepRow
+}
+
+// RunFig10de regenerates Fig. 10(d)/(e) by sweeping the request load.
+func RunFig10de(base HaloOpts, loads []float64) Fig10deResult {
+	var res Fig10deResult
+	for _, load := range loads {
+		b := base
+		b.Load = load
+		b.Partitioning = false
+		p := base
+		p.Load = load
+		p.Partitioning = true
+		res.Rows = append(res.Rows, LoadSweepRow{
+			Load: load, Baseline: RunHalo(b), Partitioned: RunHalo(p),
+		})
+	}
+	return res
+}
+
+// Render prints improvement percentages per load (10d) and CPU (10e).
+func (r Fig10deResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10(d) — latency improvement by load (higher is better; paper: grows with load)\n")
+	b.WriteString("   load   median%   p95%   p99%\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%7.0f %8.0f %7.0f %6.0f\n", row.Load,
+			metrics.Improvement(row.Baseline.Latency.Median, row.Partitioned.Latency.Median),
+			metrics.Improvement(row.Baseline.Latency.P95, row.Partitioned.Latency.P95),
+			metrics.Improvement(row.Baseline.Latency.P99, row.Partitioned.Latency.P99))
+	}
+	b.WriteString("\nFig. 10(e) — CPU utilization by load (lower is better; paper: −25%…−45% relative)\n")
+	b.WriteString("   load   baseline%   actop%\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%7.0f %10.1f %8.1f\n", row.Load,
+			100*row.Baseline.CPUUtilization, 100*row.Partitioned.CPUUtilization)
+	}
+	return b.String()
+}
+
+// Fig10fResult sweeps the actor population at fixed load.
+type Fig10fResult struct {
+	Rows []struct {
+		Players               int
+		Baseline, Partitioned HaloResult
+	}
+}
+
+// RunFig10f regenerates Fig. 10(f): latency improvement holds as the number
+// of live players scales (paper: 10K → 100K → 1M at 4K req/s).
+func RunFig10f(base HaloOpts, players []int) Fig10fResult {
+	var res Fig10fResult
+	for _, n := range players {
+		b := base
+		b.Players = n
+		b.Partitioning = false
+		p := base
+		p.Players = n
+		p.Partitioning = true
+		res.Rows = append(res.Rows, struct {
+			Players               int
+			Baseline, Partitioned HaloResult
+		}{n, RunHalo(b), RunHalo(p)})
+	}
+	return res
+}
+
+// Render prints improvement percentages per population.
+func (r Fig10fResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10(f) — latency improvement by live players (paper: sustained up to 1M)\n")
+	b.WriteString("  players   median%   p95%   p99%   moves/min\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%9d %8.0f %7.0f %6.0f %11.0f\n", row.Players,
+			metrics.Improvement(row.Baseline.Latency.Median, row.Partitioned.Latency.Median),
+			metrics.Improvement(row.Baseline.Latency.P95, row.Partitioned.Latency.P95),
+			metrics.Improvement(row.Baseline.Latency.P99, row.Partitioned.Latency.P99),
+			row.Partitioned.MovesPerMinute)
+	}
+	return b.String()
+}
+
+// ThroughputResult is the peak-throughput saturation search of §6.1.
+type ThroughputResult struct {
+	Loads       []float64
+	Baseline    []HaloResult
+	Partitioned []HaloResult
+}
+
+// RunThroughput regenerates the §6.1 throughput claim: ActOp sustains ≈2×
+// the request rate before the cluster starts rejecting requests.
+func RunThroughput(base HaloOpts, loads []float64) ThroughputResult {
+	res := ThroughputResult{Loads: loads}
+	for _, load := range loads {
+		b := base
+		b.Load = load
+		b.Partitioning = false
+		p := base
+		p.Load = load
+		p.Partitioning = true
+		res.Baseline = append(res.Baseline, RunHalo(b))
+		res.Partitioned = append(res.Partitioned, RunHalo(p))
+	}
+	return res
+}
+
+// PeakLoad reports the highest load whose goodput stays within 2% of the
+// offered load and whose rejection rate stays under 1%.
+func peakLoad(loads []float64, runs []HaloResult) float64 {
+	peak := 0.0
+	for i, r := range runs {
+		total := float64(r.Completed + r.Rejected)
+		if total == 0 {
+			continue
+		}
+		rejectFrac := float64(r.Rejected) / total
+		goodput := r.ThroughputPerSec
+		if rejectFrac < 0.01 && goodput >= 0.98*loads[i] {
+			if loads[i] > peak {
+				peak = loads[i]
+			}
+		}
+	}
+	return peak
+}
+
+// Peaks reports (baseline peak, ActOp peak).
+func (r ThroughputResult) Peaks() (float64, float64) {
+	return peakLoad(r.Loads, r.Baseline), peakLoad(r.Loads, r.Partitioned)
+}
+
+// Render prints goodput/rejections per load and the peak comparison.
+func (r ThroughputResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§6.1 — peak throughput (paper: 6K → 12K req/s, 2×)\n")
+	b.WriteString("   load   base goodput  base rej%   actop goodput  actop rej%\n")
+	for i, load := range r.Loads {
+		br, pr := r.Baseline[i], r.Partitioned[i]
+		bTot := float64(br.Completed + br.Rejected)
+		pTot := float64(pr.Completed + pr.Rejected)
+		bRej, pRej := 0.0, 0.0
+		if bTot > 0 {
+			bRej = 100 * float64(br.Rejected) / bTot
+		}
+		if pTot > 0 {
+			pRej = 100 * float64(pr.Rejected) / pTot
+		}
+		fmt.Fprintf(&b, "%7.0f %13.0f %10.2f %15.0f %11.2f\n",
+			load, br.ThroughputPerSec, bRej, pr.ThroughputPerSec, pRej)
+	}
+	bp, pp := r.Peaks()
+	ratio := 0.0
+	if bp > 0 {
+		ratio = pp / bp
+	}
+	fmt.Fprintf(&b, "peak: baseline %.0f req/s, actop %.0f req/s (%.1fx)\n", bp, pp, ratio)
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"actop/internal/metrics"
+	"actop/internal/sim"
+	"actop/internal/workload"
+)
+
+// HeartbeatOpts configures the §6.2 heartbeat service runs.
+type HeartbeatOpts struct {
+	Entities int
+	Rate     float64
+	Warmup   time.Duration
+	Measure  time.Duration
+	Seed     int64
+}
+
+// DefaultHeartbeatOpts mirrors the paper's single-server setup.
+func DefaultHeartbeatOpts() HeartbeatOpts {
+	return HeartbeatOpts{
+		Entities: 8000,
+		Rate:     15000,
+		Warmup:   30 * time.Second,
+		Measure:  time.Minute,
+		Seed:     5,
+	}
+}
+
+// HeartbeatResult is one heartbeat run's outcome.
+type HeartbeatResult struct {
+	Opts    HeartbeatOpts
+	Tuned   bool
+	Latency metrics.Summary
+	Threads [sim.NumStages]int
+	CPU     float64
+}
+
+// RunHeartbeat executes one heartbeat run with or without the §5 thread
+// controller (the baseline keeps the default 8 threads per stage).
+func RunHeartbeat(o HeartbeatOpts, tuned bool) HeartbeatResult {
+	cfg := sim.DefaultConfig()
+	cfg.Servers = 1
+	cfg.Seed = o.Seed
+	// Same lean per-event costs as the counter app (single tiny update).
+	cfg.DeserializeTime = 130 * time.Microsecond
+	cfg.SerializeTime = 130 * time.Microsecond
+	cfg.WorkerTime = 88 * time.Microsecond
+	cfg.ClientRequestExtra = 0
+	// 8 threads per *active* stage (receiver/worker/client-sender); the
+	// server-sender stage is idle in this single-hop workload.
+	cfg.InitialThreads = [sim.NumStages]int{8, 8, 1, 8}
+	cfg.ThreadTuning = tuned
+	cfg.ThreadPeriod = 5 * time.Second
+	c := sim.New(cfg)
+	w := workload.NewHeartbeat(c, o.Entities, o.Rate, o.Seed+9)
+	w.Start()
+	c.Run(o.Warmup)
+	warmEnd := c.Now()
+	c.ResetMetrics()
+	c.Run(o.Measure)
+	return HeartbeatResult{
+		Opts:    o,
+		Tuned:   tuned,
+		Latency: c.Latency.Summarize(),
+		Threads: c.ThreadAllocation(0),
+		CPU:     c.CPUSeries.MeanAfter(warmEnd),
+	}
+}
+
+// Fig11aResult is the thread-allocation-only evaluation across loads.
+type Fig11aResult struct {
+	Rows []struct {
+		Load            float64
+		Baseline, Tuned HeartbeatResult
+	}
+}
+
+// RunFig11a regenerates Fig. 11(a): heartbeat latency improvement from the
+// optimized thread allocation at increasing loads (paper: 10K/12.5K/15K
+// req/s; −58% median and −68% p99 at the top load).
+func RunFig11a(base HeartbeatOpts, loads []float64) Fig11aResult {
+	var res Fig11aResult
+	for _, load := range loads {
+		o := base
+		o.Rate = load
+		res.Rows = append(res.Rows, struct {
+			Load            float64
+			Baseline, Tuned HeartbeatResult
+		}{load, RunHeartbeat(o, false), RunHeartbeat(o, true)})
+	}
+	return res
+}
+
+// Render prints improvement percentages and chosen allocations per load.
+func (r Fig11aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 11(a) — thread-allocation-only improvement (heartbeat, 1 server)\n")
+	b.WriteString("paper: −58% median / −68% p99 at 15K req/s; workers 3→4 as load grows, 2 client senders\n")
+	b.WriteString("   load   median%   p95%   p99%   allocation(recv,worker,ssend,csend)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%7.0f %8.0f %7.0f %6.0f   %v\n", row.Load,
+			metrics.Improvement(row.Baseline.Latency.Median, row.Tuned.Latency.Median),
+			metrics.Improvement(row.Baseline.Latency.P95, row.Tuned.Latency.P95),
+			metrics.Improvement(row.Baseline.Latency.P99, row.Tuned.Latency.P99),
+			row.Tuned.Threads)
+	}
+	return b.String()
+}
+
+// Fig11bResult compares partitioning alone against both optimizations.
+type Fig11bResult struct {
+	Baseline  HaloResult // no optimization
+	Partition HaloResult // partitioning only
+	Combined  HaloResult // partitioning + thread allocation
+}
+
+// RunFig11b regenerates Fig. 11(b): on Halo Presence at top load, the
+// combined system beats partitioning alone (paper: −55% median / −75% p99
+// total; thread allocation adds −21% median / −9% p99 on top).
+func RunFig11b(base HaloOpts) Fig11bResult {
+	b := base
+	b.Partitioning, b.ThreadTuning = false, false
+	p := base
+	p.Partitioning, p.ThreadTuning = true, false
+	c := base
+	c.Partitioning, c.ThreadTuning = true, true
+	return Fig11bResult{Baseline: RunHalo(b), Partition: RunHalo(p), Combined: RunHalo(c)}
+}
+
+// Render prints the three configurations and the improvement deltas.
+func (r Fig11bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 11(b) — combining both optimizations (Halo at top load)\n")
+	b.WriteString("paper: total −55% median / −75% p99; thread allocation adds −21% median / −9% p99 over partitioning\n")
+	fmt.Fprintf(&b, "baseline            : %s  cpu %.0f%%\n", r.Baseline.Latency, 100*r.Baseline.CPUUtilization)
+	fmt.Fprintf(&b, "partitioning        : %s  cpu %.0f%%\n", r.Partition.Latency, 100*r.Partition.CPUUtilization)
+	fmt.Fprintf(&b, "partitioning+threads: %s  cpu %.0f%%\n", r.Combined.Latency, 100*r.Combined.CPUUtilization)
+	fmt.Fprintf(&b, "partitioning vs baseline : median %.0f%%, p95 %.0f%%, p99 %.0f%%\n",
+		metrics.Improvement(r.Baseline.Latency.Median, r.Partition.Latency.Median),
+		metrics.Improvement(r.Baseline.Latency.P95, r.Partition.Latency.P95),
+		metrics.Improvement(r.Baseline.Latency.P99, r.Partition.Latency.P99))
+	fmt.Fprintf(&b, "combined vs baseline     : median %.0f%%, p95 %.0f%%, p99 %.0f%%\n",
+		metrics.Improvement(r.Baseline.Latency.Median, r.Combined.Latency.Median),
+		metrics.Improvement(r.Baseline.Latency.P95, r.Combined.Latency.P95),
+		metrics.Improvement(r.Baseline.Latency.P99, r.Combined.Latency.P99))
+	fmt.Fprintf(&b, "combined vs partitioning : median %.0f%%, p95 %.0f%%, p99 %.0f%%\n",
+		metrics.Improvement(r.Partition.Latency.Median, r.Combined.Latency.Median),
+		metrics.Improvement(r.Partition.Latency.P95, r.Combined.Latency.P95),
+		metrics.Improvement(r.Partition.Latency.P99, r.Combined.Latency.P99))
+	if len(r.Combined.ThreadAllocations) > 0 {
+		fmt.Fprintf(&b, "combined allocation (server 0): %v (paper: 6 workers, 1 server sender, 1 client sender)\n",
+			r.Combined.ThreadAllocations[0])
+	}
+	return b.String()
+}

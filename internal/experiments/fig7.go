@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"actop/internal/metrics"
+	"actop/internal/queuing"
+	"actop/internal/sim"
+)
+
+// Fig7Opts configures the six-stage SEDA emulator experiment of §5.1.
+type Fig7Opts struct {
+	Rate          float64       // request arrival rate
+	Duration      time.Duration // emulation length (paper: ~450s)
+	ControlPeriod time.Duration // controller sampling period (paper: 30s)
+	Th, Tl        int           // queue-length thresholds (paper: 100, 10)
+	Seed          int64
+}
+
+// DefaultFig7Opts mirrors the paper's setup.
+func DefaultFig7Opts() Fig7Opts {
+	return Fig7Opts{
+		Rate:          5500,
+		Duration:      450 * time.Second,
+		ControlPeriod: 30 * time.Second,
+		Th:            100,
+		Tl:            10,
+		Seed:          2,
+	}
+}
+
+// Fig7Result carries both panels of Fig. 7 for the queue-length controller,
+// plus the same run under the §5 model controller for contrast.
+type Fig7Result struct {
+	Opts Fig7Opts
+
+	QueueSeries  []metrics.TimeSeries // per stage, queue length over time
+	ThreadSeries []metrics.TimeSeries // per stage, threads over time
+	QueueFlips   int                  // allocation changes (instability measure)
+	QueueLatency metrics.Summary
+
+	ModelFlips   int
+	ModelLatency metrics.Summary
+}
+
+func fig7Stages() []sim.PipelineStage {
+	return []sim.PipelineStage{
+		{Mean: 100 * time.Microsecond, Threads: 2},
+		{Mean: 250 * time.Microsecond, Threads: 2},
+		{Mean: 80 * time.Microsecond, Threads: 2},
+		{Mean: 300 * time.Microsecond, Threads: 2},
+		{Mean: 120 * time.Microsecond, Threads: 2},
+		{Mean: 150 * time.Microsecond, Threads: 2},
+	}
+}
+
+// RunFig7 regenerates Fig. 7: a six-stage SEDA emulator under a
+// queue-length threshold controller (Th/Tl) shows oscillating queues and
+// thread allocations; the model-driven controller on the same workload is
+// stable.
+func RunFig7(o Fig7Opts) Fig7Result {
+	pq := sim.NewPipeline(8, 0.025, fig7Stages(), o.Seed)
+	pq.StartArrivals(o.Rate)
+	ctl := &queuing.QueueLengthController{Th: o.Th, Tl: o.Tl}
+	pq.RunWithQueueController(o.Duration, o.ControlPeriod, ctl)
+
+	pm := sim.NewPipeline(8, 0.025, fig7Stages(), o.Seed)
+	pm.StartArrivals(o.Rate)
+	pm.RunWithModelController(o.Duration, o.ControlPeriod, 10e-6)
+
+	return Fig7Result{
+		Opts:         o,
+		QueueSeries:  pq.QueueSeries,
+		ThreadSeries: pq.ThreadSeries,
+		QueueFlips:   pq.AllocationFlips(),
+		QueueLatency: pq.Latency.Summarize(),
+		ModelFlips:   pm.AllocationFlips(),
+		ModelLatency: pm.Latency.Summarize(),
+	}
+}
+
+// Render prints the sampled series and the stability comparison.
+func (r Fig7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7 — 6-stage SEDA, %.0f req/s, queue-length controller (Th=%d, Tl=%d) vs model controller\n",
+		r.Opts.Rate, r.Opts.Th, r.Opts.Tl)
+	b.WriteString("time(s)  per-stage queue lengths | per-stage threads\n")
+	if len(r.QueueSeries) > 0 {
+		for i := range r.QueueSeries[0].Points {
+			fmt.Fprintf(&b, "%7.0f  ", r.QueueSeries[0].Points[i].At.Seconds())
+			for s := range r.QueueSeries {
+				fmt.Fprintf(&b, "%6.0f", r.QueueSeries[s].Points[i].Value)
+			}
+			b.WriteString("  |")
+			for s := range r.ThreadSeries {
+				fmt.Fprintf(&b, "%3.0f", r.ThreadSeries[s].Points[i].Value)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "queue controller: %d allocation flips, latency %s\n", r.QueueFlips, r.QueueLatency)
+	fmt.Fprintf(&b, "model controller: %d allocation flips, latency %s\n", r.ModelFlips, r.ModelLatency)
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package graph
+
+import "math/rand"
+
+// Fixture generators produce deterministic test graphs shaped like the
+// workloads the paper targets: tight communication cliques (games/chat
+// rooms) connected by a sparse background of cross-clique chatter.
+
+// Ring returns a cycle of n vertices with unit edge weights.
+func Ring(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddEdge(Vertex(i), Vertex((i+1)%n), 1)
+	}
+	return g
+}
+
+// Cliques returns k disjoint cliques of size m with intra-clique weight w.
+// Vertex c*m+i belongs to clique c.
+func Cliques(k, m int, w float64) *Graph {
+	g := New()
+	for c := 0; c < k; c++ {
+		base := c * m
+		for i := 0; i < m; i++ {
+			g.AddVertex(Vertex(base + i))
+			for j := i + 1; j < m; j++ {
+				g.AddEdge(Vertex(base+i), Vertex(base+j), w)
+			}
+		}
+	}
+	return g
+}
+
+// NoisyCliques returns k cliques of size m (intra weight heavy) plus extra
+// random cross-clique edges of weight light, mimicking a presence/chat
+// service where games dominate but players also ping strangers.
+func NoisyCliques(k, m int, heavy, light float64, crossEdges int, seed int64) *Graph {
+	g := Cliques(k, m, heavy)
+	rng := rand.New(rand.NewSource(seed))
+	n := k * m
+	for e := 0; e < crossEdges; e++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u/m == v/m { // same clique — skip, we want crossing noise
+			continue
+		}
+		g.AddEdge(Vertex(u), Vertex(v), light)
+	}
+	return g
+}
+
+// Random returns an Erdős–Rényi-style graph with n vertices and e random
+// edges of weight drawn uniformly from (0, maxW].
+func Random(n, e int, maxW float64, seed int64) *Graph {
+	g := New()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		g.AddVertex(Vertex(i))
+	}
+	for k := 0; k < e; k++ {
+		u := Vertex(rng.Intn(n))
+		v := Vertex(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		g.AddEdge(u, v, rng.Float64()*maxW+1e-9)
+	}
+	return g
+}
+
+// RandomAssignment places every vertex of g uniformly at random on one of
+// the servers — Orleans's default placement policy (§3).
+func RandomAssignment(g *Graph, servers []ServerID, seed int64) *Assignment {
+	rng := rand.New(rand.NewSource(seed))
+	a := NewAssignment(servers...)
+	for _, v := range g.Vertices() {
+		a.Place(v, servers[rng.Intn(len(servers))])
+	}
+	return a
+}
+
+// HashAssignment places every vertex on servers[v mod n] — the consistent-
+// hashing-style placement of key-value stores (§1).
+func HashAssignment(g *Graph, servers []ServerID) *Assignment {
+	a := NewAssignment(servers...)
+	n := uint64(len(servers))
+	for _, v := range g.Vertices() {
+		a.Place(v, servers[uint64(v)%n])
+	}
+	return a
+}
+
+// BlockAssignment places contiguous vertex ranges on each server — the
+// oracle placement for Cliques fixtures when m divides the block size.
+func BlockAssignment(g *Graph, servers []ServerID) *Assignment {
+	a := NewAssignment(servers...)
+	vs := g.Vertices()
+	per := (len(vs) + len(servers) - 1) / len(servers)
+	for i, v := range vs {
+		a.Place(v, servers[i/per])
+	}
+	return a
+}

@@ -1,0 +1,300 @@
+// Package graph provides the weighted actor-communication graph and
+// partition-assignment types used by the ActOp partitioning algorithms (§4).
+//
+// Vertices are actors; an edge weight is proportional to the average number
+// of messages exchanged between the two actors (both directions summed — the
+// communication cost C of §4.1 is symmetric in who crosses the boundary).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vertex identifies an actor in the communication graph.
+type Vertex uint64
+
+// Edge is one weighted undirected edge.
+type Edge struct {
+	U, V   Vertex
+	Weight float64
+}
+
+// Graph is a weighted undirected multigraph with O(1) weight accumulation.
+// The zero value is not usable; use New.
+type Graph struct {
+	adj       map[Vertex]map[Vertex]float64
+	edgeCount int
+	totalW    float64
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[Vertex]map[Vertex]float64)}
+}
+
+// AddVertex ensures v exists (possibly with no edges).
+func (g *Graph) AddVertex(v Vertex) {
+	if _, ok := g.adj[v]; !ok {
+		g.adj[v] = make(map[Vertex]float64)
+	}
+}
+
+// HasVertex reports whether v is present.
+func (g *Graph) HasVertex(v Vertex) bool {
+	_, ok := g.adj[v]
+	return ok
+}
+
+// AddEdge accumulates weight w onto the undirected edge {u,v}.
+// Self-loops are ignored (an actor messaging itself never crosses servers).
+func (g *Graph) AddEdge(u, v Vertex, w float64) {
+	if u == v || w == 0 {
+		return
+	}
+	g.AddVertex(u)
+	g.AddVertex(v)
+	if _, existed := g.adj[u][v]; !existed {
+		g.edgeCount++
+	}
+	g.adj[u][v] += w
+	g.adj[v][u] += w
+	g.totalW += w
+}
+
+// Weight reports the accumulated weight of edge {u,v} (0 if absent).
+func (g *Graph) Weight(u, v Vertex) float64 {
+	return g.adj[u][v]
+}
+
+// Neighbors calls fn for every neighbor of v with the edge weight.
+// Iteration order is unspecified.
+func (g *Graph) Neighbors(v Vertex, fn func(u Vertex, w float64)) {
+	for u, w := range g.adj[v] {
+		fn(u, w)
+	}
+}
+
+// Degree reports the number of neighbors of v.
+func (g *Graph) Degree(v Vertex) int { return len(g.adj[v]) }
+
+// WeightedDegree reports the summed edge weight incident to v.
+func (g *Graph) WeightedDegree(v Vertex) float64 {
+	var s float64
+	for _, w := range g.adj[v] {
+		s += w
+	}
+	return s
+}
+
+// RemoveVertex deletes v and all incident edges.
+func (g *Graph) RemoveVertex(v Vertex) {
+	for u := range g.adj[v] {
+		delete(g.adj[u], v)
+		g.totalW -= g.adj[v][u]
+		g.edgeCount--
+	}
+	delete(g.adj, v)
+}
+
+// NumVertices reports the vertex count.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges reports the number of distinct undirected edges.
+func (g *Graph) NumEdges() int { return g.edgeCount }
+
+// TotalWeight reports the summed weight over all undirected edges.
+func (g *Graph) TotalWeight() float64 { return g.totalW }
+
+// Vertices returns all vertices in ascending order (deterministic).
+func (g *Graph) Vertices() []Vertex {
+	vs := make([]Vertex, 0, len(g.adj))
+	for v := range g.adj {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Edges returns all undirected edges once each (U < V), sorted.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.edgeCount)
+	for u, nbrs := range g.adj {
+		for v, w := range nbrs {
+			if u < v {
+				es = append(es, Edge{U: u, V: v, Weight: w})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.edgeCount = g.edgeCount
+	c.totalW = g.totalW
+	for v, nbrs := range g.adj {
+		m := make(map[Vertex]float64, len(nbrs))
+		for u, w := range nbrs {
+			m[u] = w
+		}
+		c.adj[v] = m
+	}
+	return c
+}
+
+// ServerID identifies a server (silo) hosting a subset of actors.
+type ServerID int
+
+// Assignment maps every vertex to the server hosting it and maintains
+// per-server population counts. The zero value is not usable; use
+// NewAssignment.
+type Assignment struct {
+	home  map[Vertex]ServerID
+	count map[ServerID]int
+}
+
+// NewAssignment returns an empty assignment over the given servers.
+// Servers with no vertices still appear in Counts with count 0.
+func NewAssignment(servers ...ServerID) *Assignment {
+	a := &Assignment{
+		home:  make(map[Vertex]ServerID),
+		count: make(map[ServerID]int, len(servers)),
+	}
+	for _, s := range servers {
+		a.count[s] = 0
+	}
+	return a
+}
+
+// Place assigns v to server s, moving it if already placed.
+func (a *Assignment) Place(v Vertex, s ServerID) {
+	if old, ok := a.home[v]; ok {
+		if old == s {
+			return
+		}
+		a.count[old]--
+	}
+	a.home[v] = s
+	a.count[s]++
+}
+
+// Remove unassigns v.
+func (a *Assignment) Remove(v Vertex) {
+	if s, ok := a.home[v]; ok {
+		a.count[s]--
+		delete(a.home, v)
+	}
+}
+
+// Server reports the server hosting v.
+func (a *Assignment) Server(v Vertex) (ServerID, bool) {
+	s, ok := a.home[v]
+	return s, ok
+}
+
+// Count reports how many vertices server s hosts.
+func (a *Assignment) Count(s ServerID) int { return a.count[s] }
+
+// Servers returns all known servers in ascending order.
+func (a *Assignment) Servers() []ServerID {
+	ss := make([]ServerID, 0, len(a.count))
+	for s := range a.count {
+		ss = append(ss, s)
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+	return ss
+}
+
+// NumVertices reports the number of placed vertices.
+func (a *Assignment) NumVertices() int { return len(a.home) }
+
+// VerticesOn returns the vertices hosted by s in ascending order.
+func (a *Assignment) VerticesOn(s ServerID) []Vertex {
+	var vs []Vertex
+	for v, sv := range a.home {
+		if sv == s {
+			vs = append(vs, v)
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Clone returns a deep copy of the assignment.
+func (a *Assignment) Clone() *Assignment {
+	c := &Assignment{
+		home:  make(map[Vertex]ServerID, len(a.home)),
+		count: make(map[ServerID]int, len(a.count)),
+	}
+	for v, s := range a.home {
+		c.home[v] = s
+	}
+	for s, n := range a.count {
+		c.count[s] = n
+	}
+	return c
+}
+
+// Imbalance reports max−min population across servers.
+func (a *Assignment) Imbalance() int {
+	first := true
+	var lo, hi int
+	for _, n := range a.count {
+		if first {
+			lo, hi = n, n
+			first = false
+			continue
+		}
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	return hi - lo
+}
+
+// CutCost computes the total communication cost C of §4.1: the summed weight
+// of edges whose endpoints live on different servers. Unplaced vertices are
+// treated as remote to everything.
+func CutCost(g *Graph, a *Assignment) float64 {
+	var cost float64
+	for _, e := range g.Edges() {
+		su, okU := a.Server(e.U)
+		sv, okV := a.Server(e.V)
+		if !okU || !okV || su != sv {
+			cost += e.Weight
+		}
+	}
+	return cost
+}
+
+// RemoteFraction reports the fraction of edge weight that crosses servers —
+// the "proportion of remote messages" series of Fig. 10(a).
+func RemoteFraction(g *Graph, a *Assignment) float64 {
+	if g.TotalWeight() == 0 {
+		return 0
+	}
+	return CutCost(g, a) / g.TotalWeight()
+}
+
+// String renders population counts, e.g. "{0:5 1:5}".
+func (a *Assignment) String() string {
+	out := "{"
+	for i, s := range a.Servers() {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d:%d", s, a.count[s])
+	}
+	return out + "}"
+}

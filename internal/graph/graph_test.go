@@ -1,0 +1,285 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeAccumulates(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 1, 2) // same undirected edge
+	if w := g.Weight(1, 2); w != 5 {
+		t.Fatalf("Weight(1,2) = %v, want 5", w)
+	}
+	if w := g.Weight(2, 1); w != 5 {
+		t.Fatalf("Weight(2,1) = %v, want 5 (symmetric)", w)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.TotalWeight() != 5 {
+		t.Fatalf("TotalWeight = %v, want 5", g.TotalWeight())
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := New()
+	g.AddEdge(7, 7, 10)
+	if g.NumEdges() != 0 || g.TotalWeight() != 0 {
+		t.Fatal("self-loops must be ignored")
+	}
+}
+
+func TestZeroWeightIgnored(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 0)
+	if g.NumEdges() != 0 {
+		t.Fatal("zero-weight edges must be ignored")
+	}
+}
+
+func TestRemoveVertex(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(2, 3, 5)
+	g.RemoveVertex(1)
+	if g.HasVertex(1) {
+		t.Fatal("vertex 1 still present")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if w := g.Weight(2, 3); w != 5 {
+		t.Fatalf("surviving edge weight = %v", w)
+	}
+	if math.Abs(g.TotalWeight()-5) > 1e-9 {
+		t.Fatalf("TotalWeight = %v, want 5", g.TotalWeight())
+	}
+}
+
+func TestNeighborsAndDegrees(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(1, 3, 4)
+	if g.Degree(1) != 2 || g.Degree(2) != 1 {
+		t.Fatalf("degrees: %d, %d", g.Degree(1), g.Degree(2))
+	}
+	if wd := g.WeightedDegree(1); wd != 7 {
+		t.Fatalf("WeightedDegree(1) = %v, want 7", wd)
+	}
+	seen := map[Vertex]float64{}
+	g.Neighbors(1, func(u Vertex, w float64) { seen[u] = w })
+	if len(seen) != 2 || seen[2] != 3 || seen[3] != 4 {
+		t.Fatalf("Neighbors = %v", seen)
+	}
+}
+
+func TestEdgesSortedOnce(t *testing.T) {
+	g := New()
+	g.AddEdge(3, 1, 1)
+	g.AddEdge(2, 1, 1)
+	g.AddEdge(3, 2, 1)
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("Edges len = %d", len(es))
+	}
+	for i, e := range es {
+		if e.U >= e.V {
+			t.Errorf("edge %d not canonical: %+v", i, e)
+		}
+		if i > 0 && (es[i-1].U > e.U || (es[i-1].U == e.U && es[i-1].V > e.V)) {
+			t.Errorf("edges not sorted at %d", i)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 3)
+	c := g.Clone()
+	c.AddEdge(1, 2, 1)
+	if g.Weight(1, 2) != 3 {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if c.Weight(1, 2) != 4 {
+		t.Fatal("clone did not accumulate")
+	}
+}
+
+func TestAssignmentPlaceMoveRemove(t *testing.T) {
+	a := NewAssignment(0, 1)
+	a.Place(10, 0)
+	a.Place(11, 0)
+	a.Place(10, 1) // move
+	if s, _ := a.Server(10); s != 1 {
+		t.Fatalf("Server(10) = %v", s)
+	}
+	if a.Count(0) != 1 || a.Count(1) != 1 {
+		t.Fatalf("counts %d/%d", a.Count(0), a.Count(1))
+	}
+	a.Place(10, 1) // idempotent
+	if a.Count(1) != 1 {
+		t.Fatal("re-placing on same server changed count")
+	}
+	a.Remove(10)
+	if _, ok := a.Server(10); ok || a.Count(1) != 0 {
+		t.Fatal("remove failed")
+	}
+	a.Remove(10) // no-op
+}
+
+func TestAssignmentImbalance(t *testing.T) {
+	a := NewAssignment(0, 1, 2)
+	for i := 0; i < 5; i++ {
+		a.Place(Vertex(i), 0)
+	}
+	a.Place(100, 1)
+	if got := a.Imbalance(); got != 5 {
+		t.Fatalf("Imbalance = %d, want 5 (5 vs 0)", got)
+	}
+}
+
+func TestCutCostAndRemoteFraction(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 10) // same server
+	g.AddEdge(2, 3, 4)  // crossing
+	a := NewAssignment(0, 1)
+	a.Place(1, 0)
+	a.Place(2, 0)
+	a.Place(3, 1)
+	if c := CutCost(g, a); c != 4 {
+		t.Fatalf("CutCost = %v, want 4", c)
+	}
+	if rf := RemoteFraction(g, a); math.Abs(rf-4.0/14.0) > 1e-9 {
+		t.Fatalf("RemoteFraction = %v", rf)
+	}
+}
+
+func TestCutCostUnplacedIsRemote(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 3)
+	a := NewAssignment(0)
+	a.Place(1, 0)
+	// 2 unplaced.
+	if c := CutCost(g, a); c != 3 {
+		t.Fatalf("CutCost = %v, want 3", c)
+	}
+}
+
+func TestRingFixture(t *testing.T) {
+	g := Ring(10)
+	if g.NumVertices() != 10 || g.NumEdges() != 10 {
+		t.Fatalf("ring: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	for _, v := range g.Vertices() {
+		if g.Degree(v) != 2 {
+			t.Fatalf("ring vertex %d degree %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestCliquesFixture(t *testing.T) {
+	g := Cliques(3, 4, 2)
+	if g.NumVertices() != 12 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	wantEdges := 3 * (4 * 3 / 2)
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	// No cross-clique edges.
+	for _, e := range g.Edges() {
+		if int(e.U)/4 != int(e.V)/4 {
+			t.Fatalf("cross-clique edge %+v", e)
+		}
+	}
+}
+
+func TestNoisyCliquesHasCrossEdges(t *testing.T) {
+	g := NoisyCliques(4, 5, 10, 0.1, 50, 1)
+	var crossing int
+	for _, e := range g.Edges() {
+		if int(e.U)/5 != int(e.V)/5 {
+			crossing++
+		}
+	}
+	if crossing == 0 {
+		t.Fatal("expected some cross-clique noise edges")
+	}
+}
+
+func TestBlockAssignmentOracleOnCliques(t *testing.T) {
+	g := Cliques(4, 5, 1) // 20 vertices
+	servers := []ServerID{0, 1}
+	a := BlockAssignment(g, servers)
+	if CutCost(g, a) != 0 {
+		t.Fatalf("block assignment should have zero cut on aligned cliques, got %v", CutCost(g, a))
+	}
+	if a.Count(0) != 10 || a.Count(1) != 10 {
+		t.Fatalf("counts %d/%d", a.Count(0), a.Count(1))
+	}
+}
+
+func TestRandomAssignmentBalanced(t *testing.T) {
+	g := Random(1000, 0, 1, 1)
+	servers := []ServerID{0, 1, 2, 3}
+	a := RandomAssignment(g, servers, 42)
+	if a.NumVertices() != 1000 {
+		t.Fatalf("placed %d", a.NumVertices())
+	}
+	for _, s := range servers {
+		if c := a.Count(s); c < 150 || c > 350 {
+			t.Errorf("server %d count %d badly imbalanced", s, c)
+		}
+	}
+}
+
+func TestHashAssignmentDeterministic(t *testing.T) {
+	g := Random(100, 0, 1, 2)
+	servers := []ServerID{0, 1, 2}
+	a := HashAssignment(g, servers)
+	b := HashAssignment(g, servers)
+	for _, v := range g.Vertices() {
+		sa, _ := a.Server(v)
+		sb, _ := b.Server(v)
+		if sa != sb {
+			t.Fatalf("hash assignment not deterministic for %d", v)
+		}
+		if sa != ServerID(uint64(v)%3) {
+			t.Fatalf("hash assignment wrong server for %d: %d", v, sa)
+		}
+	}
+}
+
+func TestCutCostNonNegativeProperty(t *testing.T) {
+	f := func(seed int64, edges uint8) bool {
+		g := Random(20, int(edges), 5, seed)
+		a := RandomAssignment(g, []ServerID{0, 1, 2}, seed+1)
+		c := CutCost(g, a)
+		return c >= 0 && c <= g.TotalWeight()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentCloneIndependent(t *testing.T) {
+	a := NewAssignment(0, 1)
+	a.Place(1, 0)
+	c := a.Clone()
+	c.Place(1, 1)
+	if s, _ := a.Server(1); s != 0 {
+		t.Fatal("clone mutation leaked")
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	a := NewAssignment(0, 1)
+	a.Place(5, 0)
+	if got := a.String(); got != "{0:1 1:0}" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,20 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"actop/internal/metrics"
+)
+
+func ExampleHistogram() {
+	var h metrics.Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	fmt.Println("median:", h.Quantile(0.5).Round(20*time.Millisecond))
+	fmt.Println("p99   :", h.Quantile(0.99).Round(20*time.Millisecond))
+	// Output:
+	// median: 500ms
+	// p99   : 980ms
+}

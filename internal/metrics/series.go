@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SeriesPoint is one sample of a time series.
+type SeriesPoint struct {
+	At    time.Duration // offset from the start of the run (virtual or wall)
+	Value float64
+}
+
+// TimeSeries accumulates (time, value) samples, e.g. remote-message fraction
+// per minute (Fig. 10(a)) or queue length over time (Fig. 7).
+type TimeSeries struct {
+	Name   string
+	Points []SeriesPoint
+}
+
+// Add appends one sample.
+func (ts *TimeSeries) Add(at time.Duration, v float64) {
+	ts.Points = append(ts.Points, SeriesPoint{At: at, Value: v})
+}
+
+// Last returns the most recent sample value, or 0 if empty.
+func (ts *TimeSeries) Last() float64 {
+	if len(ts.Points) == 0 {
+		return 0
+	}
+	return ts.Points[len(ts.Points)-1].Value
+}
+
+// MeanAfter returns the mean of samples at or after cut, or 0 if none —
+// useful for "steady state after warm-up" aggregates.
+func (ts *TimeSeries) MeanAfter(cut time.Duration) float64 {
+	var sum float64
+	var n int
+	for _, p := range ts.Points {
+		if p.At >= cut {
+			sum += p.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Render prints the series as aligned columns.
+func (ts *TimeSeries) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", ts.Name)
+	for _, p := range ts.Points {
+		fmt.Fprintf(&b, "%8.1fs  %10.4f\n", p.At.Seconds(), p.Value)
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing event counter with windowed-rate
+// queries against a virtual clock.
+type Counter struct {
+	total  uint64
+	window []stampedCount
+}
+
+type stampedCount struct {
+	at    time.Duration
+	total uint64
+}
+
+// Inc adds n events observed at virtual time at.
+func (c *Counter) Inc(at time.Duration, n uint64) {
+	c.total += n
+	c.window = append(c.window, stampedCount{at: at, total: c.total})
+	// Bound memory: retain at most 4096 stamps by dropping the older half.
+	if len(c.window) > 4096 {
+		copy(c.window, c.window[len(c.window)/2:])
+		c.window = c.window[:len(c.window)-len(c.window)/2]
+	}
+}
+
+// Total reports the lifetime event count.
+func (c *Counter) Total() uint64 { return c.total }
+
+// RatePerSec estimates the event rate over the window (now−span, now].
+func (c *Counter) RatePerSec(now, span time.Duration) float64 {
+	if span <= 0 || len(c.window) == 0 {
+		return 0
+	}
+	cut := now - span
+	// Find the last stamp at or before the cut.
+	i := sort.Search(len(c.window), func(i int) bool { return c.window[i].at > cut })
+	var base uint64
+	if i > 0 {
+		base = c.window[i-1].total
+	}
+	delta := c.total - base
+	return float64(delta) / span.Seconds()
+}
+
+// Breakdown attributes total request latency to named components, reproducing
+// the Fig. 4 "percent of end-to-end latency" analysis.
+type Breakdown struct {
+	order  []string
+	totals map[string]float64 // summed nanoseconds
+}
+
+// NewBreakdown creates a breakdown with a fixed component display order.
+func NewBreakdown(components ...string) *Breakdown {
+	b := &Breakdown{totals: make(map[string]float64, len(components))}
+	b.order = append(b.order, components...)
+	for _, c := range components {
+		b.totals[c] = 0
+	}
+	return b
+}
+
+// Add accumulates time spent in component.
+func (b *Breakdown) Add(component string, d time.Duration) {
+	if _, ok := b.totals[component]; !ok {
+		b.order = append(b.order, component)
+	}
+	b.totals[component] += float64(d)
+}
+
+// Total reports the grand total across components.
+func (b *Breakdown) Total() time.Duration {
+	var t float64
+	for _, v := range b.totals {
+		t += v
+	}
+	return time.Duration(t)
+}
+
+// Percent reports component's share of the grand total, in percent.
+func (b *Breakdown) Percent(component string) float64 {
+	t := float64(b.Total())
+	if t == 0 {
+		return 0
+	}
+	return 100 * b.totals[component] / t
+}
+
+// Components returns the component names in display order.
+func (b *Breakdown) Components() []string {
+	out := make([]string, len(b.order))
+	copy(out, b.order)
+	return out
+}
+
+// Render prints the breakdown as "component  percent" rows.
+func (b *Breakdown) Render() string {
+	var sb strings.Builder
+	for _, c := range b.order {
+		fmt.Fprintf(&sb, "%-20s %6.2f%%\n", c, b.Percent(c))
+	}
+	return sb.String()
+}

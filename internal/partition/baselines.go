@@ -1,0 +1,114 @@
+package partition
+
+import (
+	"math/rand"
+
+	"actop/internal/graph"
+)
+
+// Baseline partitioners the paper compares against or discusses (§4.1
+// "Design alternatives", §7). Random/hash/local placement baselines live in
+// package graph (they are placement policies, not repartitioners).
+
+// OneSidedRound performs one round of the *uncoordinated* design alternative
+// the paper rejects (§4.2 "Discussion"): every server unilaterally migrates
+// its best-scoring vertices to their preferred servers, with no pairwise
+// agreement and no balance negotiation. Returns vertices moved.
+//
+// Kept as an ablation baseline: it converges slower and produces higher
+// imbalance, which BenchmarkAblationOneSided demonstrates.
+func OneSidedRound(opts Options, g *graph.Graph, a *graph.Assignment) int {
+	moved := 0
+	view := GraphView{G: g}
+	for _, p := range a.Servers() {
+		local := a.VerticesOn(p)
+		proposals := SelectCandidates(opts, view, a, p, local, len(local))
+		if len(proposals) == 0 {
+			continue
+		}
+		best := proposals[0]
+		for _, c := range best.Candidates {
+			a.Place(c.V, best.To)
+			moved++
+		}
+	}
+	return moved
+}
+
+// JaBeJa approximates the distributed per-vertex swap algorithm of Rahimian
+// et al. (SASO 2013), the closest prior work (§7): random vertex pairs on
+// different servers swap homes when the swap reduces the summed remote edge
+// weight. Swapping preserves per-server populations exactly, so balance is
+// maintained by construction — but there is no bound on per-round migrations
+// and convergence takes many fine-grained steps.
+type JaBeJa struct {
+	G      *graph.Graph
+	Assign *graph.Assignment
+	rng    *rand.Rand
+	verts  []graph.Vertex
+	// Swaps counts applied swaps (two migrations each).
+	Swaps int
+}
+
+// NewJaBeJa creates a Ja-Be-Ja-style optimizer over g and a.
+func NewJaBeJa(g *graph.Graph, a *graph.Assignment, seed int64) *JaBeJa {
+	return &JaBeJa{G: g, Assign: a, rng: rand.New(rand.NewSource(seed)), verts: g.Vertices()}
+}
+
+// localCost is the remote edge weight incident to v if v lives on s.
+func (j *JaBeJa) localCost(v graph.Vertex, s graph.ServerID) float64 {
+	var cost float64
+	j.G.Neighbors(v, func(u graph.Vertex, w float64) {
+		if su, ok := j.Assign.Server(u); ok && su != s {
+			cost += w
+		}
+	})
+	return cost
+}
+
+// Step samples `attempts` random vertex pairs and applies beneficial swaps.
+// Returns the number of swaps applied.
+func (j *JaBeJa) Step(attempts int) int {
+	applied := 0
+	n := len(j.verts)
+	if n < 2 {
+		return 0
+	}
+	for i := 0; i < attempts; i++ {
+		u := j.verts[j.rng.Intn(n)]
+		v := j.verts[j.rng.Intn(n)]
+		su, okU := j.Assign.Server(u)
+		sv, okV := j.Assign.Server(v)
+		if !okU || !okV || su == sv || u == v {
+			continue
+		}
+		// Remote weight incident to the pair, counting the shared u–v edge
+		// twice on both sides of the comparison so the comparison stays
+		// consistent. Before: u–v is remote (su≠sv), so localCost counts it
+		// once per endpoint. After the swap u is on sv and v on su — still
+		// different servers — but localCost evaluates against the current
+		// assignment where the peer has not moved yet, so it sees the edge
+		// as local for both hypotheticals; add it back twice.
+		before := j.localCost(u, su) + j.localCost(v, sv)
+		uvw := j.G.Weight(u, v)
+		after := j.localCost(u, sv) + j.localCost(v, su) + 2*uvw
+		if after < before-1e-12 {
+			j.Assign.Place(u, sv)
+			j.Assign.Place(v, su)
+			applied++
+			j.Swaps++
+		}
+	}
+	return applied
+}
+
+// Run steps until an entire sweep of `attempts` finds no beneficial swap or
+// maxSteps sweeps elapse. Returns sweeps executed.
+func (j *JaBeJa) Run(attempts, maxSteps int) int {
+	for s := 1; s <= maxSteps; s++ {
+		if j.Step(attempts) == 0 {
+			return s
+		}
+	}
+	return maxSteps
+}

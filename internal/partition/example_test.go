@@ -1,0 +1,28 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"actop/internal/graph"
+	"actop/internal/partition"
+)
+
+func Example() {
+	// Four tightly-knit "games" of six actors, scattered round-robin over
+	// two servers; the distributed pairwise protocol co-locates them.
+	g := graph.Cliques(4, 6, 1)
+	a := graph.HashAssignment(g, []graph.ServerID{0, 1})
+	fmt.Printf("before: %.0f%% of traffic crosses servers\n", 100*graph.RemoteFraction(g, a))
+
+	opts := partition.DefaultOptions()
+	opts.ImbalanceTolerance = 6
+	engine := partition.NewEngine(opts, g, a, 1)
+	engine.RunToConvergence(50)
+
+	fmt.Printf("after:  %.0f%% of traffic crosses servers\n", 100*graph.RemoteFraction(g, a))
+	fmt.Println("balanced:", a.Imbalance() <= opts.ImbalanceTolerance)
+	// Output:
+	// before: 60% of traffic crosses servers
+	// after:  0% of traffic crosses servers
+	// balanced: true
+}

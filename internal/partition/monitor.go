@@ -1,0 +1,107 @@
+package partition
+
+import (
+	"actop/internal/graph"
+	"actop/internal/sampling"
+)
+
+// edgeKey canonically identifies an undirected edge (A < B).
+type edgeKey struct{ A, B graph.Vertex }
+
+func canonical(u, v graph.Vertex) edgeKey {
+	if u < v {
+		return edgeKey{A: u, B: v}
+	}
+	return edgeKey{A: v, B: u}
+}
+
+// Monitor is one server's partial view of the communication graph: a
+// Space-Saving summary over the stream of messages to/from local actors
+// (§4.3, "Edge sampling" + "Gathering edge statistics"). It retains only the
+// heaviest edges in constant space; light edges never enter candidate sets,
+// so dropping them does not change the algorithm's decisions.
+//
+// Monitor is not safe for concurrent use; the runtime funnels updates from a
+// single thread, exactly as the paper's implementation does after its lock-
+// contention lesson.
+type Monitor struct {
+	summary *sampling.SpaceSaving[edgeKey]
+}
+
+// NewMonitor creates a monitor retaining at most capacity heavy edges.
+func NewMonitor(capacity int) *Monitor {
+	return &Monitor{summary: sampling.NewSpaceSaving[edgeKey](capacity)}
+}
+
+// ObserveMessage records count messages between two actors (direction does
+// not matter for the cost model; both directions accumulate onto the same
+// undirected edge).
+func (m *Monitor) ObserveMessage(from, to graph.Vertex, count uint64) {
+	if from == to {
+		return
+	}
+	m.summary.Observe(canonical(from, to), count)
+}
+
+// Decay applies exponential forgetting so stale heavy edges fade as the
+// communication graph changes. Call once per statistics epoch.
+func (m *Monitor) Decay() { m.summary.Decay() }
+
+// ForgetVertex drops all monitored edges incident to v (used when an actor
+// deactivates or migrates away and its statistics move with it).
+func (m *Monitor) ForgetVertex(v graph.Vertex) {
+	for _, e := range m.summary.Entries() {
+		if e.Key.A == v || e.Key.B == v {
+			m.summary.Forget(e.Key)
+		}
+	}
+}
+
+// EdgeCount reports the number of monitored edges.
+func (m *Monitor) EdgeCount() int { return m.summary.Len() }
+
+// TotalObserved reports the total message weight observed.
+func (m *Monitor) TotalObserved() uint64 { return m.summary.Total() }
+
+// Snapshot materializes the summary into an adjacency view for one
+// partitioning round. The snapshot is O(k) to build and supports O(deg)
+// per-vertex edge iteration, which SelectCandidates needs.
+func (m *Monitor) Snapshot() *MonitorSnapshot {
+	adj := make(map[graph.Vertex]map[graph.Vertex]float64)
+	add := func(a, b graph.Vertex, w float64) {
+		nb := adj[a]
+		if nb == nil {
+			nb = make(map[graph.Vertex]float64)
+			adj[a] = nb
+		}
+		nb[b] += w
+	}
+	for _, e := range m.summary.Entries() {
+		w := float64(e.Count)
+		add(e.Key.A, e.Key.B, w)
+		add(e.Key.B, e.Key.A, w)
+	}
+	return &MonitorSnapshot{adj: adj}
+}
+
+// MonitorSnapshot is an immutable adjacency view over a monitor's heavy
+// edges. It implements EdgeView.
+type MonitorSnapshot struct {
+	adj map[graph.Vertex]map[graph.Vertex]float64
+}
+
+// VertexEdges implements EdgeView.
+func (s *MonitorSnapshot) VertexEdges(v graph.Vertex, fn func(u graph.Vertex, w float64)) {
+	for u, w := range s.adj[v] {
+		fn(u, w)
+	}
+}
+
+// Vertices returns the vertices with at least one monitored edge.
+func (s *MonitorSnapshot) Vertices() []graph.Vertex {
+	vs := make([]graph.Vertex, 0, len(s.adj))
+	for v := range s.adj {
+		vs = append(vs, v)
+	}
+	return vs
+}

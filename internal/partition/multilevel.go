@@ -1,0 +1,238 @@
+package partition
+
+import (
+	"sort"
+
+	"actop/internal/graph"
+)
+
+// Multilevel is the centralized baseline standing in for METIS (§4.1 rules
+// it out for ActOp's setting: it needs the whole graph in one place and is
+// far too slow for rapidly changing graphs, but it provides a quality
+// ceiling to compare the distributed algorithm against).
+//
+// The implementation follows the classic multilevel scheme (Karypis &
+// Kumar): coarsen by heavy-edge matching, partition the coarsest graph
+// greedily, then uncoarsen with Kernighan–Lin-style boundary refinement at
+// every level.
+
+// MultilevelOptions configures the centralized partitioner.
+type MultilevelOptions struct {
+	// CoarsenTo stops coarsening when at most this many super-vertices
+	// remain (default 64).
+	CoarsenTo int
+	// RefinePasses bounds KL refinement passes per level (default 4).
+	RefinePasses int
+	// ImbalanceTolerance is δ over vertex counts (default 1 per size ratio).
+	ImbalanceTolerance int
+}
+
+type mlLevel struct {
+	g      *graph.Graph
+	size   map[graph.Vertex]int          // super-vertex weights
+	parent map[graph.Vertex]graph.Vertex // fine vertex → coarse vertex (next level)
+}
+
+// MultilevelPartition partitions g across the given servers, returning a
+// fresh assignment.
+func MultilevelPartition(g *graph.Graph, servers []graph.ServerID, opts MultilevelOptions) *graph.Assignment {
+	if opts.CoarsenTo <= 0 {
+		opts.CoarsenTo = 64
+	}
+	if opts.RefinePasses <= 0 {
+		opts.RefinePasses = 4
+	}
+	if opts.ImbalanceTolerance <= 0 {
+		opts.ImbalanceTolerance = 1
+	}
+	if opts.CoarsenTo < 4*len(servers) {
+		opts.CoarsenTo = 4 * len(servers)
+	}
+
+	// Phase 1: coarsen.
+	levels := []mlLevel{{g: g, size: unitSizes(g)}}
+	for levels[len(levels)-1].g.NumVertices() > opts.CoarsenTo {
+		cur := &levels[len(levels)-1]
+		next, parent, progressed := coarsen(cur.g, cur.size)
+		if !progressed {
+			break
+		}
+		cur.parent = parent
+		levels = append(levels, next)
+	}
+
+	// Phase 2: initial partition of the coarsest level by greedy size-
+	// balanced placement of super-vertices in descending size order, biased
+	// toward the server already holding the heaviest neighbors.
+	coarse := levels[len(levels)-1]
+	assign := greedyInitial(coarse.g, coarse.size, servers)
+
+	// Phase 3: uncoarsen + refine.
+	refine(coarse.g, coarse.size, assign, servers, opts)
+	for li := len(levels) - 2; li >= 0; li-- {
+		lvl := levels[li]
+		fine := graph.NewAssignment(servers...)
+		for _, v := range lvl.g.Vertices() {
+			coarseV := lvl.parent[v]
+			s, _ := assign.Server(coarseV)
+			fine.Place(v, s)
+		}
+		assign = fine
+		refine(lvl.g, lvl.size, assign, servers, opts)
+	}
+	return assign
+}
+
+func unitSizes(g *graph.Graph) map[graph.Vertex]int {
+	m := make(map[graph.Vertex]int, g.NumVertices())
+	for _, v := range g.Vertices() {
+		m[v] = 1
+	}
+	return m
+}
+
+// coarsen contracts a heavy-edge matching. Returns the coarser level, the
+// fine→coarse map, and whether any contraction happened.
+func coarsen(g *graph.Graph, size map[graph.Vertex]int) (mlLevel, map[graph.Vertex]graph.Vertex, bool) {
+	matched := make(map[graph.Vertex]graph.Vertex) // fine → coarse id
+	used := make(map[graph.Vertex]bool)
+	progressed := false
+
+	// Visit vertices in deterministic order; match each unmatched vertex
+	// with its heaviest unmatched neighbor.
+	for _, v := range g.Vertices() {
+		if used[v] {
+			continue
+		}
+		var best graph.Vertex
+		bestW := -1.0
+		g.Neighbors(v, func(u graph.Vertex, w float64) {
+			if !used[u] && u != v && w > bestW {
+				best, bestW = u, w
+			}
+		})
+		used[v] = true
+		if bestW > 0 {
+			used[best] = true
+			matched[v] = v // coarse vertex reuses the smaller id
+			matched[best] = v
+			progressed = true
+		} else {
+			matched[v] = v
+		}
+	}
+	if !progressed {
+		return mlLevel{}, nil, false
+	}
+
+	cg := graph.New()
+	csize := make(map[graph.Vertex]int)
+	for fine, coarse := range matched {
+		cg.AddVertex(coarse)
+		csize[coarse] += size[fine]
+	}
+	for _, e := range g.Edges() {
+		cu, cv := matched[e.U], matched[e.V]
+		if cu != cv {
+			cg.AddEdge(cu, cv, e.Weight)
+		}
+	}
+	return mlLevel{g: cg, size: csize}, matched, true
+}
+
+// greedyInitial places super-vertices (largest first) on the least-loaded
+// admissible server, preferring the server that already hosts the heaviest
+// adjacent weight.
+func greedyInitial(g *graph.Graph, size map[graph.Vertex]int, servers []graph.ServerID) *graph.Assignment {
+	a := graph.NewAssignment(servers...)
+	load := make(map[graph.ServerID]int, len(servers))
+
+	vs := g.Vertices()
+	sort.Slice(vs, func(i, j int) bool {
+		if size[vs[i]] != size[vs[j]] {
+			return size[vs[i]] > size[vs[j]]
+		}
+		return vs[i] < vs[j]
+	})
+	for _, v := range vs {
+		// Affinity per server.
+		aff := make(map[graph.ServerID]float64)
+		g.Neighbors(v, func(u graph.Vertex, w float64) {
+			if s, ok := a.Server(u); ok {
+				aff[s] += w
+			}
+		})
+		minLoad := 1 << 60
+		for _, s := range servers {
+			if load[s] < minLoad {
+				minLoad = load[s]
+			}
+		}
+		// Among servers within one super-vertex of the minimum load, pick
+		// the one with the highest affinity.
+		best := servers[0]
+		bestAff := -1.0
+		for _, s := range servers {
+			if load[s] > minLoad+size[v] {
+				continue
+			}
+			if aff[s] > bestAff {
+				best, bestAff = s, aff[s]
+			}
+		}
+		a.Place(v, best)
+		load[best] += size[v]
+	}
+	return a
+}
+
+// refine runs KL-style single-vertex boundary refinement: repeatedly move
+// the vertex with the largest positive gain to its best server, while
+// keeping size loads within tolerance.
+func refine(g *graph.Graph, size map[graph.Vertex]int, a *graph.Assignment,
+	servers []graph.ServerID, opts MultilevelOptions) {
+
+	load := make(map[graph.ServerID]int, len(servers))
+	for _, v := range g.Vertices() {
+		s, _ := a.Server(v)
+		load[s] += size[v]
+	}
+	total := 0
+	for _, s := range servers {
+		total += load[s]
+	}
+	maxLoad := total/len(servers) + opts.ImbalanceTolerance
+
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		improved := false
+		for _, v := range g.Vertices() {
+			home, _ := a.Server(v)
+			aff := make(map[graph.ServerID]float64)
+			g.Neighbors(v, func(u graph.Vertex, w float64) {
+				if s, ok := a.Server(u); ok {
+					aff[s] += w
+				}
+			})
+			bestGain := 0.0
+			bestS := home
+			for s, w := range aff {
+				if s == home {
+					continue
+				}
+				gain := w - aff[home]
+				if gain > bestGain && load[s]+size[v] <= maxLoad {
+					bestGain, bestS = gain, s
+				}
+			}
+			if bestS != home {
+				a.Place(v, bestS)
+				load[home] -= size[v]
+				load[bestS] += size[v]
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package queuing_test
+
+import (
+	"fmt"
+
+	"actop/internal/queuing"
+)
+
+func ExampleSolve() {
+	// A three-stage SEDA server (receive → work → send) on 8 cores at
+	// 1000 req/s; the worker stage blocks on synchronous I/O (β < 1).
+	m := &queuing.Model{
+		Stages: []queuing.Stage{
+			{Name: "receiver", Lambda: 1000, ServiceRate: 5000, Beta: 1.0},
+			{Name: "worker", Lambda: 1000, ServiceRate: 1250, Beta: 0.5},
+			{Name: "sender", Lambda: 1000, ServiceRate: 4000, Beta: 1.0},
+		},
+		Processors: 8,
+		Eta:        100e-6, // η: per-thread latency penalty
+	}
+	sol, err := queuing.Solve(m)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("closed form:", sol.UsedClosedForm)
+	fmt.Println("threads:", sol.Integer)
+	// Output:
+	// closed form: true
+	// threads: [1 3 1]
+}

@@ -1,0 +1,164 @@
+// Package queuing implements ActOp's latency-optimized thread allocation
+// (§5): the Jackson-network latency proxy over per-stage M/M/1 queues, the
+// regularized optimization problem (∗), its closed-form solution (Theorem 2),
+// a projected-gradient fallback for inputs outside the closed form's
+// conditions, and the queue-length threshold controller the paper compares
+// against (Fig. 7).
+package queuing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Stage describes one SEDA stage's workload parameters (Table 1).
+type Stage struct {
+	// Name identifies the stage (e.g. "receiver", "worker", "sender").
+	Name string
+	// Lambda is λ_i — the event arrival rate at the stage (events/sec).
+	Lambda float64
+	// ServiceRate is s_i — events/sec one thread sustains (1/(x_i+w_i)).
+	ServiceRate float64
+	// Beta is β_i — the fraction of a processor one thread consumes while
+	// processing (x_i/(x_i+w_i)); the remainder waits on synchronous calls.
+	Beta float64
+}
+
+// Model is the queuing model of a SEDA server (Fig. 8).
+type Model struct {
+	Stages []Stage
+	// Processors is p — the number of processors at the server.
+	Processors float64
+	// Eta is η — the per-thread latency penalty (time/threads) that
+	// regularizes the optimization against multithreading overheads (§5.3).
+	Eta float64
+}
+
+// TotalLambda is λ_tot = Σ λ_i.
+func (m *Model) TotalLambda() float64 {
+	var t float64
+	for _, s := range m.Stages {
+		t += s.Lambda
+	}
+	return t
+}
+
+// MM1Latency is the M/M/1 sojourn time 1/(µ−λ); +Inf when µ ≤ λ.
+func MM1Latency(lambda, mu float64) float64 {
+	if mu <= lambda {
+		return math.Inf(1)
+	}
+	return 1 / (mu - lambda)
+}
+
+// MM1QueueLength is the M/M/1 mean queue length ρ/(1−ρ); +Inf when ρ ≥ 1.
+func MM1QueueLength(lambda, mu float64) float64 {
+	if mu <= 0 {
+		return math.Inf(1)
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho)
+}
+
+// Latency evaluates the objective of (∗) for a given thread allocation:
+// the λ-weighted Jackson latency proxy (Eq. 1) plus the η·Σt penalty.
+// It returns +Inf for infeasible allocations (some stage with µ_i ≤ λ_i).
+func (m *Model) Latency(threads []float64) float64 {
+	if len(threads) != len(m.Stages) {
+		return math.Inf(1)
+	}
+	ltot := m.TotalLambda()
+	if ltot == 0 {
+		return 0
+	}
+	var obj, tsum float64
+	for i, s := range m.Stages {
+		mu := s.ServiceRate * threads[i]
+		if mu <= s.Lambda {
+			return math.Inf(1)
+		}
+		obj += s.Lambda / (mu - s.Lambda)
+		tsum += threads[i]
+	}
+	return obj/ltot + m.Eta*tsum
+}
+
+// CPUUsage is Σ t_i·β_i — the processor demand of an allocation.
+func (m *Model) CPUUsage(threads []float64) float64 {
+	var u float64
+	for i, s := range m.Stages {
+		u += threads[i] * s.Beta
+	}
+	return u
+}
+
+// MinFeasibleCPU is Σ λ_i·β_i/s_i — the processor demand of the work itself;
+// the system is feasible iff it is < Processors (Theorem 2's premise).
+func (m *Model) MinFeasibleCPU() float64 {
+	var u float64
+	for _, s := range m.Stages {
+		if s.ServiceRate > 0 {
+			u += s.Lambda * s.Beta / s.ServiceRate
+		}
+	}
+	return u
+}
+
+// Feasible reports whether the offered load fits the server's processors.
+func (m *Model) Feasible() bool {
+	return m.MinFeasibleCPU() < m.Processors
+}
+
+// Zeta computes ζ from Theorem 2:
+//
+//	ζ = (1/λ_tot) · [ Σ β_i·√(λ_i/s_i) / (p − Σ λ_i·β_i/s_i) ]².
+//
+// When η ≥ ζ the closed form ignores the processor constraint safely.
+func (m *Model) Zeta() (float64, error) {
+	ltot := m.TotalLambda()
+	if ltot == 0 {
+		return 0, nil
+	}
+	slack := m.Processors - m.MinFeasibleCPU()
+	if slack <= 0 {
+		return 0, errors.New("queuing: system infeasible (Σλβ/s ≥ p)")
+	}
+	var num float64
+	for _, s := range m.Stages {
+		if s.ServiceRate <= 0 {
+			return 0, fmt.Errorf("queuing: stage %q has non-positive service rate", s.Name)
+		}
+		num += s.Beta * math.Sqrt(s.Lambda/s.ServiceRate)
+	}
+	r := num / slack
+	return r * r / ltot, nil
+}
+
+// validate checks structural sanity of the model's inputs.
+func (m *Model) validate() error {
+	if len(m.Stages) == 0 {
+		return errors.New("queuing: model has no stages")
+	}
+	if m.Processors <= 0 {
+		return errors.New("queuing: model needs a positive processor count")
+	}
+	if m.Eta < 0 {
+		return errors.New("queuing: negative thread penalty η")
+	}
+	for _, s := range m.Stages {
+		if s.Lambda < 0 {
+			return fmt.Errorf("queuing: stage %q has negative arrival rate", s.Name)
+		}
+		if s.ServiceRate <= 0 {
+			return fmt.Errorf("queuing: stage %q has non-positive service rate", s.Name)
+		}
+		if s.Beta <= 0 || s.Beta > 1 {
+			return fmt.Errorf("queuing: stage %q has β outside (0,1]", s.Name)
+		}
+	}
+	return nil
+}

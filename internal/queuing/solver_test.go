@@ -1,0 +1,343 @@
+package queuing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// threeStage builds a model resembling an Orleans server: receiver, worker,
+// sender (Fig. 2) at the given per-stage arrival rate.
+func threeStage(lambda, eta float64) *Model {
+	return &Model{
+		Stages: []Stage{
+			{Name: "receiver", Lambda: lambda, ServiceRate: 5000, Beta: 1.0},
+			{Name: "worker", Lambda: lambda, ServiceRate: 2000, Beta: 0.9},
+			{Name: "sender", Lambda: lambda, ServiceRate: 4000, Beta: 1.0},
+		},
+		Processors: 8,
+		Eta:        eta,
+	}
+}
+
+func TestMM1Latency(t *testing.T) {
+	if got := MM1Latency(50, 100); math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("MM1Latency = %v, want 0.02", got)
+	}
+	if !math.IsInf(MM1Latency(100, 100), 1) {
+		t.Fatal("saturated queue should have infinite latency")
+	}
+	if !math.IsInf(MM1Latency(150, 100), 1) {
+		t.Fatal("overloaded queue should have infinite latency")
+	}
+}
+
+func TestMM1QueueLength(t *testing.T) {
+	if got := MM1QueueLength(50, 100); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("queue length at ρ=0.5 = %v, want 1", got)
+	}
+	if got := MM1QueueLength(90, 100); math.Abs(got-9) > 1e-9 {
+		t.Fatalf("queue length at ρ=0.9 = %v, want 9", got)
+	}
+	if !math.IsInf(MM1QueueLength(100, 100), 1) {
+		t.Fatal("queue length at ρ=1 should be infinite")
+	}
+	if !math.IsInf(MM1QueueLength(1, 0), 1) {
+		t.Fatal("zero service rate should be infinite")
+	}
+}
+
+func TestLatencyInfeasibleAllocation(t *testing.T) {
+	m := threeStage(1000, 1e-4)
+	// Worker stage needs ≥ 0.5 threads; give it 0.4.
+	if !math.IsInf(m.Latency([]float64{1, 0.4, 1}), 1) {
+		t.Fatal("unstable stage should make latency infinite")
+	}
+	if !math.IsInf(m.Latency([]float64{1, 1}), 1) {
+		t.Fatal("wrong-length allocation should be infinite")
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	m := threeStage(1000, 1e-4)
+	if !m.Feasible() {
+		t.Fatal("moderate load should be feasible")
+	}
+	// Load that demands more CPU than 8 cores:
+	// worker alone needs λ·β/s = λ·0.9/2000 cores → λ=20000 needs 9 cores.
+	m2 := threeStage(20000, 1e-4)
+	if m2.Feasible() {
+		t.Fatalf("overload should be infeasible, demand = %v", m2.MinFeasibleCPU())
+	}
+	if _, err := Solve(m2); err != ErrInfeasible {
+		t.Fatalf("Solve on overload: err = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestClosedFormStationarity checks that the Theorem 2 formula zeroes the
+// unconstrained gradient of (∗): at t_i = λ/s + √(λ/(λtot·η·s)),
+// ∂/∂t_i [λ_i/((µ_i−λ_i)λ_tot) + η·t_i] = 0.
+func TestClosedFormStationarity(t *testing.T) {
+	m := threeStage(1200, 2e-4)
+	ts, err := ClosedForm(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltot := m.TotalLambda()
+	for i, s := range m.Stages {
+		d := s.ServiceRate*ts[i] - s.Lambda
+		grad := -(s.Lambda*s.ServiceRate)/(ltot*d*d) + m.Eta
+		if math.Abs(grad) > 1e-9 {
+			t.Errorf("stage %d gradient at closed form = %v, want 0", i, grad)
+		}
+	}
+}
+
+// TestTheorem2MatchesGradient is the paper's Theorem 2 as a property test:
+// when η ≥ ζ, the closed form and the constrained numerical optimum agree.
+func TestTheorem2MatchesGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		m := &Model{Processors: 8}
+		for i := 0; i < n; i++ {
+			m.Stages = append(m.Stages, Stage{
+				Lambda:      500 + rng.Float64()*2000,
+				ServiceRate: 1000 + rng.Float64()*5000,
+				Beta:        0.5 + rng.Float64()*0.5,
+			})
+		}
+		if !m.Feasible() {
+			continue
+		}
+		zeta, err := m.Zeta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Eta = zeta * (1.5 + rng.Float64()) // safely above ζ
+		closed, err := ClosedForm(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grad := projectedGradient(m)
+		objClosed := m.Latency(closed)
+		objGrad := m.Latency(grad)
+		// The gradient solver must not beat the closed form materially,
+		// and must come close to it.
+		if objGrad < objClosed-1e-6 {
+			t.Errorf("trial %d: gradient %v beats closed form %v", trial, objGrad, objClosed)
+		}
+		if objGrad > objClosed*(1+1e-3) {
+			t.Errorf("trial %d: gradient %v too far above closed form %v", trial, objGrad, objClosed)
+		}
+	}
+}
+
+func TestSolveUsesClosedFormWhenEtaLarge(t *testing.T) {
+	m := threeStage(1000, 0)
+	zeta, err := m.Zeta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Eta = 2 * zeta
+	sol, err := Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.UsedClosedForm {
+		t.Error("expected closed form with η ≥ ζ")
+	}
+	if m.CPUUsage(sol.Threads) > m.Processors+1e-9 {
+		t.Errorf("solution exceeds CPU: %v", m.CPUUsage(sol.Threads))
+	}
+	for i, ti := range sol.Threads {
+		lb := m.Stages[i].Lambda / m.Stages[i].ServiceRate
+		if ti <= lb {
+			t.Errorf("stage %d allocation %v below stability bound %v", i, ti, lb)
+		}
+	}
+}
+
+func TestSolveGradientFallbackTightCPU(t *testing.T) {
+	// η below ζ: the closed form may violate the CPU constraint, so Solve
+	// must fall back to the constrained solver and return a feasible point.
+	m := &Model{
+		Stages: []Stage{
+			{Name: "a", Lambda: 3000, ServiceRate: 1000, Beta: 1},
+			{Name: "b", Lambda: 3000, ServiceRate: 1000, Beta: 1},
+		},
+		Processors: 7, // load needs 6 cores; little slack
+		Eta:        1e-9,
+	}
+	zeta, err := m.Zeta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Eta >= zeta {
+		t.Fatalf("test premise broken: η %v ≥ ζ %v", m.Eta, zeta)
+	}
+	sol, err := Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.UsedClosedForm {
+		t.Error("expected gradient fallback")
+	}
+	if use := m.CPUUsage(sol.Threads); use > m.Processors+1e-6 {
+		t.Errorf("CPU usage %v exceeds %v", use, m.Processors)
+	}
+	if math.IsInf(sol.Objective, 1) {
+		t.Error("fallback returned infeasible allocation")
+	}
+}
+
+func TestSolveMoreLoadMoreThreads(t *testing.T) {
+	lo := threeStage(500, 1e-4)
+	hi := threeStage(2000, 1e-4)
+	sLo, err := Solve(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sHi, err := Solve(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sLo.Threads {
+		if sHi.Threads[i] <= sLo.Threads[i] {
+			t.Errorf("stage %d: threads did not grow with load (%v → %v)",
+				i, sLo.Threads[i], sHi.Threads[i])
+		}
+	}
+}
+
+// TestBlockingStageGetsMoreThreads reproduces the §5.2 example: two stages
+// with equal arrival rate and compute time, but one waits longer on
+// synchronous calls (lower s, lower β) — it must receive more threads.
+func TestBlockingStageGetsMoreThreads(t *testing.T) {
+	x := 0.0005 // 0.5ms compute
+	wSlow := 0.0015
+	wFast := 0.0
+	m := &Model{
+		Stages: []Stage{
+			{Name: "blocking", Lambda: 1000, ServiceRate: 1 / (x + wSlow), Beta: x / (x + wSlow)},
+			{Name: "pure-cpu", Lambda: 1000, ServiceRate: 1 / (x + wFast), Beta: 1},
+		},
+		Processors: 8,
+		Eta:        1e-4,
+	}
+	sol, err := Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Threads[0] <= sol.Threads[1] {
+		t.Errorf("blocking stage got %v threads, pure-CPU got %v; want more for blocking",
+			sol.Threads[0], sol.Threads[1])
+	}
+}
+
+func TestIntegerAllocationInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &Model{Processors: 8, Eta: 1e-4}
+		n := 2 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			m.Stages = append(m.Stages, Stage{
+				Lambda:      100 + rng.Float64()*3000,
+				ServiceRate: 1000 + rng.Float64()*5000,
+				Beta:        0.4 + rng.Float64()*0.6,
+			})
+		}
+		if !m.Feasible() {
+			return true
+		}
+		sol, err := Solve(m)
+		if err != nil {
+			return false
+		}
+		for i, a := range sol.Integer {
+			if a < 1 {
+				return false
+			}
+			// Stability with integer threads.
+			if float64(a)*m.Stages[i].ServiceRate <= m.Stages[i].Lambda {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegerAllocationNearContinuous(t *testing.T) {
+	m := threeStage(1500, 1e-4)
+	sol, err := Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sol.Integer {
+		if float64(sol.Integer[i]) > sol.Threads[i]+1 {
+			t.Errorf("stage %d integer %d far above continuous %v",
+				i, sol.Integer[i], sol.Threads[i])
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []*Model{
+		{Processors: 8, Eta: 1e-4}, // no stages
+		{Stages: []Stage{{Lambda: 1, ServiceRate: 1, Beta: 1}}, Processors: 0, Eta: 1e-4},   // no CPUs
+		{Stages: []Stage{{Lambda: -1, ServiceRate: 1, Beta: 1}}, Processors: 8, Eta: 1e-4},  // bad λ
+		{Stages: []Stage{{Lambda: 1, ServiceRate: 0, Beta: 1}}, Processors: 8, Eta: 1e-4},   // bad s
+		{Stages: []Stage{{Lambda: 1, ServiceRate: 1, Beta: 1.5}}, Processors: 8, Eta: 1e-4}, // bad β
+		{Stages: []Stage{{Lambda: 1, ServiceRate: 1, Beta: 0.5}}, Processors: 8, Eta: -1},   // bad η
+	}
+	for i, m := range cases {
+		if _, err := Solve(m); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestZetaZeroLoad(t *testing.T) {
+	m := &Model{
+		Stages:     []Stage{{Lambda: 0, ServiceRate: 100, Beta: 1}},
+		Processors: 8, Eta: 1e-4,
+	}
+	z, err := m.Zeta()
+	if err != nil || z != 0 {
+		t.Fatalf("Zeta = %v, %v", z, err)
+	}
+}
+
+func TestQueueLengthController(t *testing.T) {
+	c := &QueueLengthController{Th: 100, Tl: 10}
+	threads := []int{4, 4, 4}
+	next := c.Update(threads, []int{500, 50, 0})
+	want := []int{5, 4, 3}
+	for i := range want {
+		if next[i] != want[i] {
+			t.Fatalf("Update = %v, want %v", next, want)
+		}
+	}
+	// Floor at 1.
+	next = c.Update([]int{1, 1, 1}, []int{0, 0, 0})
+	for _, v := range next {
+		if v != 1 {
+			t.Fatalf("controller went below one thread: %v", next)
+		}
+	}
+	// Cap.
+	c.MaxThreads = 5
+	next = c.Update([]int{5}, []int{1000})
+	if next[0] != 5 {
+		t.Fatalf("controller exceeded cap: %v", next)
+	}
+	// Input shorter than threads: untouched tail.
+	next = c.Update([]int{2, 2}, []int{500})
+	if next[0] != 3 || next[1] != 2 {
+		t.Fatalf("partial queue input handled wrong: %v", next)
+	}
+}

@@ -1,0 +1,239 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestObserveAndCount(t *testing.T) {
+	s := NewSpaceSaving[string](4)
+	s.Observe("a", 3)
+	s.Observe("b", 1)
+	s.Observe("a", 2)
+	if c, ok := s.Count("a"); !ok || c != 5 {
+		t.Fatalf("Count(a) = %d,%v want 5,true", c, ok)
+	}
+	if c, ok := s.Count("b"); !ok || c != 1 {
+		t.Fatalf("Count(b) = %d,%v", c, ok)
+	}
+	if _, ok := s.Count("zzz"); ok {
+		t.Fatal("unmonitored key should report !ok")
+	}
+	if s.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", s.Total())
+	}
+}
+
+func TestZeroWeightIgnored(t *testing.T) {
+	s := NewSpaceSaving[string](2)
+	s.Observe("a", 0)
+	if s.Len() != 0 || s.Total() != 0 {
+		t.Fatal("zero-weight observation should be ignored")
+	}
+}
+
+func TestCapacityClamp(t *testing.T) {
+	s := NewSpaceSaving[int](0)
+	s.Observe(1, 1)
+	s.Observe(2, 1)
+	if s.Len() != 1 {
+		t.Fatalf("capacity 0 should clamp to 1, len = %d", s.Len())
+	}
+}
+
+func TestEviction(t *testing.T) {
+	s := NewSpaceSaving[string](2)
+	s.Observe("a", 10)
+	s.Observe("b", 1)
+	s.Observe("c", 1) // evicts b (min count 1); c inherits count 1 → 2, error 1
+	if _, ok := s.Count("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	c, ok := s.Count("c")
+	if !ok || c != 2 {
+		t.Fatalf("Count(c) = %d,%v want 2,true", c, ok)
+	}
+	g, _ := s.GuaranteedCount("c")
+	if g != 1 {
+		t.Fatalf("GuaranteedCount(c) = %d, want 1", g)
+	}
+	// a untouched.
+	if g, _ := s.GuaranteedCount("a"); g != 10 {
+		t.Fatalf("GuaranteedCount(a) = %d, want 10", g)
+	}
+}
+
+func TestTopOrdering(t *testing.T) {
+	s := NewSpaceSaving[int](10)
+	for i := 1; i <= 5; i++ {
+		s.Observe(i, uint64(i*10))
+	}
+	top := s.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("Top(3) len = %d", len(top))
+	}
+	want := []int{5, 4, 3}
+	for i, e := range top {
+		if e.Key != want[i] {
+			t.Errorf("Top[%d] = %v, want key %d", i, e, want[i])
+		}
+	}
+	if got := s.Top(0); got != nil {
+		t.Error("Top(0) should be nil")
+	}
+	if got := s.Top(100); len(got) != 5 {
+		t.Errorf("Top(100) len = %d, want 5", len(got))
+	}
+}
+
+func TestHeavyHitterGuarantee(t *testing.T) {
+	// Space-Saving guarantee: any element with true frequency > N/k is
+	// monitored, and estimates never underestimate.
+	const k = 50
+	s := NewSpaceSaving[int](k)
+	truth := make(map[int]uint64)
+	rng := rand.New(rand.NewSource(42))
+	var n uint64
+	// Zipf-ish: heavy keys 0..9, long tail 10..9999.
+	zipf := rand.NewZipf(rng, 1.3, 1, 9999)
+	for i := 0; i < 200_000; i++ {
+		key := int(zipf.Uint64())
+		truth[key]++
+		n++
+		s.Observe(key, 1)
+	}
+	for key, freq := range truth {
+		if freq > n/uint64(k) {
+			est, ok := s.Count(key)
+			if !ok {
+				t.Errorf("heavy key %d (freq %d > N/k=%d) not monitored", key, freq, n/uint64(k))
+				continue
+			}
+			if est < freq {
+				t.Errorf("estimate %d underestimates true frequency %d for key %d", est, freq, key)
+			}
+		}
+	}
+}
+
+func TestOverestimateBoundedByError(t *testing.T) {
+	s := NewSpaceSaving[int](8)
+	truth := make(map[int]uint64)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		key := rng.Intn(100)
+		truth[key]++
+		s.Observe(key, 1)
+	}
+	for _, e := range s.Entries() {
+		if e.Count-e.Error > truth[e.Key] {
+			t.Errorf("guaranteed count %d exceeds true frequency %d for key %v",
+				e.Count-e.Error, truth[e.Key], e.Key)
+		}
+		if e.Count < truth[e.Key] {
+			t.Errorf("estimate %d underestimates truth %d for key %v", e.Count, truth[e.Key], e.Key)
+		}
+	}
+}
+
+func TestMinCount(t *testing.T) {
+	s := NewSpaceSaving[int](3)
+	if s.MinCount() != 0 {
+		t.Fatal("MinCount of non-full summary should be 0")
+	}
+	s.Observe(1, 5)
+	s.Observe(2, 3)
+	s.Observe(3, 9)
+	if got := s.MinCount(); got != 3 {
+		t.Fatalf("MinCount = %d, want 3", got)
+	}
+}
+
+func TestDecay(t *testing.T) {
+	s := NewSpaceSaving[string](4)
+	s.Observe("a", 100)
+	s.Observe("b", 7)
+	s.Decay()
+	if c, _ := s.Count("a"); c != 50 {
+		t.Errorf("a after decay = %d, want 50", c)
+	}
+	if c, _ := s.Count("b"); c != 4 {
+		t.Errorf("b after decay = %d, want 4 (rounds up)", c)
+	}
+	// Decay never drops a count to zero.
+	s2 := NewSpaceSaving[string](2)
+	s2.Observe("x", 1)
+	s2.Decay()
+	if c, _ := s2.Count("x"); c != 1 {
+		t.Errorf("x after decay = %d, want 1", c)
+	}
+}
+
+func TestForget(t *testing.T) {
+	s := NewSpaceSaving[string](4)
+	s.Observe("a", 5)
+	s.Observe("b", 2)
+	s.Forget("a")
+	if _, ok := s.Count("a"); ok {
+		t.Fatal("a should be forgotten")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	s.Forget("not-there") // no-op
+	// Heap invariant still fine: further observations work.
+	s.Observe("c", 1)
+	s.Observe("d", 1)
+	s.Observe("e", 1)
+	s.Observe("f", 10)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewSpaceSaving[int](4)
+	s.Observe(1, 1)
+	s.Reset()
+	if s.Len() != 0 || s.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+	s.Observe(2, 2)
+	if c, _ := s.Count(2); c != 2 {
+		t.Fatal("summary unusable after reset")
+	}
+}
+
+func TestNeverUnderestimateProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		s := NewSpaceSaving[uint8](4)
+		truth := make(map[uint8]uint64)
+		for _, k := range keys {
+			truth[k]++
+			s.Observe(k, 1)
+		}
+		for _, e := range s.Entries() {
+			if e.Count < truth[e.Key] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLenNeverExceedsCapacityProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		s := NewSpaceSaving[uint16](8)
+		for _, k := range keys {
+			s.Observe(k, 1)
+		}
+		return s.Len() <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

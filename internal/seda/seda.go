@@ -1,0 +1,202 @@
+// Package seda is a real (goroutine-backed) staged event-driven executor:
+// each Stage owns a bounded task queue and a dynamically resizable worker
+// pool, with the per-event instrumentation (arrival counts, queue lengths,
+// wall times) that ActOp's thread controller consumes (§5).
+//
+// It is the runtime analogue of the simulator's stage model; the actor
+// runtime (internal/actor) pipes receive → execute → send through stages
+// exactly as Fig. 2 shows.
+package seda
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one unit of stage work.
+type Task func()
+
+// ErrQueueFull is returned by Submit when the stage queue is at capacity —
+// the backpressure signal (overloaded servers reject, §6.1).
+var ErrQueueFull = errors.New("seda: stage queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("seda: stage closed")
+
+// Stats is a snapshot of a stage's counters since the previous snapshot.
+type Stats struct {
+	Name      string
+	Arrivals  uint64        // tasks submitted in the window
+	Processed uint64        // tasks completed in the window
+	BusyTime  time.Duration // summed task execution wall time
+	QueueWait time.Duration // summed queue residence time
+	QueueLen  int           // instantaneous queue length
+	Workers   int           // current worker count
+}
+
+type queued struct {
+	task Task
+	at   time.Time
+}
+
+// Stage is one SEDA stage. Create with NewStage; resize with SetWorkers.
+type Stage struct {
+	name string
+
+	mu      sync.Mutex
+	queue   chan queued
+	stops   []chan struct{} // one per live worker
+	closed  bool
+	workers int
+
+	// window counters (atomics so task paths don't take the lock)
+	arrivals  atomic.Uint64
+	processed atomic.Uint64
+	busyNanos atomic.Int64
+	waitNanos atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// NewStage creates a stage with the given queue capacity and initial worker
+// count (minimum 1 each).
+func NewStage(name string, queueCap, workers int) *Stage {
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Stage{name: name, queue: make(chan queued, queueCap)}
+	s.mu.Lock()
+	s.grow(workers)
+	s.mu.Unlock()
+	return s
+}
+
+// Name reports the stage name.
+func (s *Stage) Name() string { return s.name }
+
+// Submit enqueues a task. It never blocks: a full queue returns
+// ErrQueueFull so callers can shed load.
+func (s *Stage) Submit(t Task) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	select {
+	case s.queue <- queued{task: t, at: time.Now()}:
+		s.arrivals.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// worker drains the queue until its stop channel fires.
+func (s *Stage) worker(stop chan struct{}) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		case q, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			start := time.Now()
+			s.waitNanos.Add(int64(start.Sub(q.at)))
+			q.task()
+			s.busyNanos.Add(int64(time.Since(start)))
+			s.processed.Add(1)
+		}
+	}
+}
+
+// grow starts n additional workers. Caller holds mu.
+func (s *Stage) grow(n int) {
+	for i := 0; i < n; i++ {
+		stop := make(chan struct{})
+		s.stops = append(s.stops, stop)
+		s.wg.Add(1)
+		go s.worker(stop)
+	}
+	s.workers += n
+}
+
+// SetWorkers resizes the pool to n (minimum 1). Shrinking signals surplus
+// workers to exit after their current task.
+func (s *Stage) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	switch {
+	case n > s.workers:
+		s.grow(n - s.workers)
+	case n < s.workers:
+		for i := 0; i < s.workers-n; i++ {
+			stop := s.stops[len(s.stops)-1]
+			s.stops = s.stops[:len(s.stops)-1]
+			close(stop)
+		}
+		s.workers = n
+	}
+}
+
+// Workers reports the current worker count.
+func (s *Stage) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workers
+}
+
+// QueueLen reports the instantaneous queue length.
+func (s *Stage) QueueLen() int { return len(s.queue) }
+
+// Snapshot returns the window counters and resets them.
+func (s *Stage) Snapshot() Stats {
+	return Stats{
+		Name:      s.name,
+		Arrivals:  s.arrivals.Swap(0),
+		Processed: s.processed.Swap(0),
+		BusyTime:  time.Duration(s.busyNanos.Swap(0)),
+		QueueWait: time.Duration(s.waitNanos.Swap(0)),
+		QueueLen:  s.QueueLen(),
+		Workers:   s.Workers(),
+	}
+}
+
+// Close stops all workers after the queued tasks drain and rejects further
+// submissions. It blocks until workers exit.
+func (s *Stage) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	// Release workers blocked on the queue by closing it; drain semantics:
+	// workers finish whatever is buffered first.
+	close(s.queue)
+	stops := s.stops
+	s.stops = nil
+	s.mu.Unlock()
+	_ = stops // workers exit via the closed queue; stop channels become moot
+	s.wg.Wait()
+}
+
+// String describes the stage.
+func (s *Stage) String() string {
+	return fmt.Sprintf("stage(%s workers=%d queued=%d)", s.name, s.Workers(), s.QueueLen())
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"actop/internal/queuing"
+)
+
+// sixStage reproduces the §5.1 emulator: six stages of mixed weight on an
+// 8-core box.
+func sixStage(threads int, seed int64) *Pipeline {
+	stages := []PipelineStage{
+		{Mean: 100 * time.Microsecond, Threads: threads},
+		{Mean: 250 * time.Microsecond, Threads: threads},
+		{Mean: 80 * time.Microsecond, Threads: threads},
+		{Mean: 300 * time.Microsecond, Threads: threads},
+		{Mean: 120 * time.Microsecond, Threads: threads},
+		{Mean: 150 * time.Microsecond, Threads: threads},
+	}
+	return NewPipeline(8, 0.012, stages, seed)
+}
+
+func TestPipelineCompletesRequests(t *testing.T) {
+	p := sixStage(4, 1)
+	p.StartArrivals(1000)
+	p.RunFixed(10*time.Second, time.Second)
+	if p.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	if p.Latency.Count() != p.Completed {
+		t.Fatalf("latency count %d != completed %d", p.Latency.Count(), p.Completed)
+	}
+	// All stages sampled.
+	if len(p.QueueSeries[0].Points) == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+func TestPipelineQueueControllerFluctuates(t *testing.T) {
+	// Fig. 7: under a load near capacity, the threshold controller keeps
+	// flipping threads between stages and queues oscillate.
+	p := sixStage(2, 2)
+	p.StartArrivals(5500)
+	ctl := &queuing.QueueLengthController{Th: 100, Tl: 10}
+	p.RunWithQueueController(8*time.Minute, 30*time.Second, ctl)
+	flips := p.AllocationFlips()
+	if flips < 6 {
+		t.Fatalf("queue controller flips = %d; expected sustained fluctuation", flips)
+	}
+	// Queues reach large values at some point (the bottleneck builds up).
+	maxQ := 0.0
+	for _, ts := range p.QueueSeries {
+		for _, pt := range ts.Points {
+			if pt.Value > maxQ {
+				maxQ = pt.Value
+			}
+		}
+	}
+	if maxQ < float64(ctl.Th) {
+		t.Fatalf("max queue %v never crossed the growth threshold", maxQ)
+	}
+}
+
+func TestPipelineModelControllerStabilizes(t *testing.T) {
+	run := func(model bool) (*Pipeline, int) {
+		p := sixStage(2, 3)
+		p.StartArrivals(5500)
+		if model {
+			p.RunWithModelController(8*time.Minute, 30*time.Second, 100e-6)
+		} else {
+			ctl := &queuing.QueueLengthController{Th: 100, Tl: 10}
+			p.RunWithQueueController(8*time.Minute, 30*time.Second, ctl)
+		}
+		return p, p.AllocationFlips()
+	}
+	pModel, flipsModel := run(true)
+	pQueue, flipsQueue := run(false)
+	if flipsModel >= flipsQueue {
+		t.Errorf("model controller flips %d not below queue controller %d", flipsModel, flipsQueue)
+	}
+	// The model controller should not be materially worse on p99 latency.
+	if pModel.Latency.Quantile(0.99) > 2*pQueue.Latency.Quantile(0.99) {
+		t.Errorf("model p99 %v far above queue p99 %v",
+			pModel.Latency.Quantile(0.99), pQueue.Latency.Quantile(0.99))
+	}
+}
+
+func TestPipelineBlockingStage(t *testing.T) {
+	stages := []PipelineStage{
+		{Mean: 100 * time.Microsecond, Threads: 2},
+		{Mean: 100 * time.Microsecond, Blocking: 400 * time.Microsecond, Threads: 2},
+	}
+	p := NewPipeline(4, 0.01, stages, 4)
+	p.StartArrivals(3000)
+	p.RunWithModelController(2*time.Minute, 10*time.Second, 100e-6)
+	th := p.Threads()
+	if th[1] <= th[0] {
+		t.Errorf("blocking stage threads %d not above pure-CPU %d", th[1], th[0])
+	}
+	if p.Completed == 0 {
+		t.Fatal("no completions")
+	}
+}
+
+func TestPipelineDeterminism(t *testing.T) {
+	run := func() uint64 {
+		p := sixStage(3, 7)
+		p.StartArrivals(2000)
+		p.RunFixed(20*time.Second, time.Second)
+		return p.Completed
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %d vs %d", a, b)
+	}
+}

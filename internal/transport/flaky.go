@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Flaky wraps a Transport with deterministic fault injection — message
+// drops and extra delays — for testing how the runtime behaves under an
+// unreliable network (timeouts, redirect retries, exchange failures).
+type Flaky struct {
+	inner Transport
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	dropProb  float64
+	delayProb float64
+	delay     time.Duration
+	dropped   uint64
+}
+
+// NewFlaky wraps inner; seed fixes the fault sequence.
+func NewFlaky(inner Transport, seed int64) *Flaky {
+	return &Flaky{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetDrop makes each Send vanish with probability p (the send "succeeds"
+// from the caller's perspective, as a lost datagram/broken pipe would).
+func (f *Flaky) SetDrop(p float64) {
+	f.mu.Lock()
+	f.dropProb = p
+	f.mu.Unlock()
+}
+
+// SetDelay adds d of extra latency to each Send with probability p.
+func (f *Flaky) SetDelay(p float64, d time.Duration) {
+	f.mu.Lock()
+	f.delayProb = p
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// Dropped reports how many envelopes were swallowed.
+func (f *Flaky) Dropped() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Node implements Transport.
+func (f *Flaky) Node() NodeID { return f.inner.Node() }
+
+// SetHandler implements Transport.
+func (f *Flaky) SetHandler(h Handler) { f.inner.SetHandler(h) }
+
+// Close implements Transport.
+func (f *Flaky) Close() error { return f.inner.Close() }
+
+// Send implements Transport with fault injection.
+func (f *Flaky) Send(to NodeID, env *Envelope) error {
+	f.mu.Lock()
+	drop := f.rng.Float64() < f.dropProb
+	delayed := f.delay > 0 && f.rng.Float64() < f.delayProb
+	delay := f.delay
+	if drop {
+		f.dropped++
+	}
+	f.mu.Unlock()
+	if drop {
+		return nil // lost on the wire
+	}
+	if delayed {
+		cp := *env
+		time.AfterFunc(delay, func() { _ = f.inner.Send(to, &cp) })
+		return nil
+	}
+	return f.inner.Send(to, env)
+}

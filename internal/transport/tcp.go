@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP is a Transport over real sockets: one listener per node, lazily
+// dialed outbound connections (one per peer, serialized writes), gob-framed
+// envelopes. Node ids are the listen addresses, so peers need no separate
+// name service.
+type TCP struct {
+	id       NodeID
+	listener net.Listener
+
+	mu      sync.Mutex
+	handler Handler
+	conns   map[NodeID]*tcpConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// ListenTCP starts a node listening on addr ("host:port"; ":0" picks a free
+// port). The node's id is its actual listen address.
+func ListenTCP(addr string) (*TCP, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		id:       NodeID(l.Addr().String()),
+		listener: l,
+		conns:    make(map[NodeID]*tcpConn),
+		inbound:  make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Node reports the listen address.
+func (t *TCP) Node() NodeID { return t.id }
+
+// SetHandler installs the inbound consumer.
+func (t *TCP) SetHandler(h Handler) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(&env)
+		}
+	}
+}
+
+// Send delivers env to the peer listening at `to`, dialing on first use.
+// On a write error the cached connection is dropped and one redial is
+// attempted.
+func (t *TCP) Send(to NodeID, env *Envelope) error {
+	cp := *env
+	cp.From = t.id
+	for attempt := 0; attempt < 2; attempt++ {
+		c, err := t.conn(to)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		err = c.enc.Encode(&cp)
+		c.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		t.dropConn(to, c)
+	}
+	return fmt.Errorf("transport: send to %s failed after retry", to)
+}
+
+func (t *TCP) conn(to NodeID) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	conn, err := net.Dial("tcp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrUnknownNode, to, err)
+	}
+	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		conn.Close() // lost the race; reuse the winner
+		return existing, nil
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+func (t *TCP) dropConn(to NodeID, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	c.conn.Close()
+}
+
+// Close shuts the listener and all connections.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[NodeID]*tcpConn{}
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+	t.listener.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}

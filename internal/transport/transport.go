@@ -1,0 +1,175 @@
+// Package transport carries actor-runtime messages between nodes. Two
+// implementations are provided: an in-memory transport for single-process
+// multi-node clusters (tests, examples, simulations of deployments) and a
+// TCP transport (length-delimited gob frames) for real distributed runs.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeID names a cluster node (host:port for TCP, any label in-memory).
+type NodeID string
+
+// Kind classifies envelopes.
+type Kind uint8
+
+// Envelope kinds.
+const (
+	// KindCall is an actor method invocation.
+	KindCall Kind = iota
+	// KindReply answers a KindCall with the same ID.
+	KindReply
+	// KindControl carries runtime control-plane traffic (directory lookups,
+	// migration, partition exchanges).
+	KindControl
+)
+
+// Envelope is the wire message of the actor runtime.
+type Envelope struct {
+	Kind Kind
+	// ID correlates calls with replies and control requests with responses.
+	ID   uint64
+	From NodeID
+
+	// ActorType/ActorKey address the target actor for calls; for control
+	// messages they are repurposed by the runtime (e.g. directory subject).
+	ActorType string
+	ActorKey  string
+	// Method is the invoked method name (calls) or control verb.
+	Method string
+	// Payload is the gob-encoded argument/result.
+	Payload []byte
+	// Err carries an application or runtime error back on replies.
+	Err string
+}
+
+// Handler consumes inbound envelopes. It must not block for long: the
+// runtime hands envelopes to its receive stage immediately.
+type Handler func(env *Envelope)
+
+// Transport moves envelopes between nodes.
+type Transport interface {
+	// Node is this endpoint's identity.
+	Node() NodeID
+	// Send delivers env to the given node (asynchronously; delivery errors
+	// surface as returned errors when detectable).
+	Send(to NodeID, env *Envelope) error
+	// SetHandler installs the inbound envelope consumer. Must be called
+	// before any traffic arrives.
+	SetHandler(Handler)
+	// Close releases resources.
+	Close() error
+}
+
+// ErrUnknownNode is returned when sending to a node the transport cannot
+// resolve.
+var ErrUnknownNode = errors.New("transport: unknown node")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// --- in-memory ---
+
+// Network is an in-process cluster fabric: each Join returns a Transport
+// endpoint; Send delivers to the peer's handler on a fresh goroutine after
+// the configured latency.
+type Network struct {
+	mu      sync.RWMutex
+	nodes   map[NodeID]*memNode
+	latency time.Duration
+}
+
+// NewNetwork creates a fabric with the given one-way delivery latency
+// (0 is allowed).
+func NewNetwork(latency time.Duration) *Network {
+	return &Network{nodes: make(map[NodeID]*memNode), latency: latency}
+}
+
+// Join adds a node and returns its endpoint. Joining an existing id
+// replaces the previous endpoint.
+func (n *Network) Join(id NodeID) Transport {
+	m := &memNode{net: n, id: id}
+	n.mu.Lock()
+	n.nodes[id] = m
+	n.mu.Unlock()
+	return m
+}
+
+// Nodes lists joined nodes in sorted order.
+func (n *Network) Nodes() []NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+type memNode struct {
+	net *Network
+	id  NodeID
+
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+}
+
+func (m *memNode) Node() NodeID { return m.id }
+
+func (m *memNode) SetHandler(h Handler) {
+	m.mu.Lock()
+	m.handler = h
+	m.mu.Unlock()
+}
+
+func (m *memNode) Send(to NodeID, env *Envelope) error {
+	m.mu.RLock()
+	closed := m.closed
+	m.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	m.net.mu.RLock()
+	dest, ok := m.net.nodes[to]
+	latency := m.net.latency
+	m.net.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	cp := *env
+	cp.From = m.id
+	deliver := func() {
+		dest.mu.RLock()
+		h := dest.handler
+		closed := dest.closed
+		dest.mu.RUnlock()
+		if h != nil && !closed {
+			h(&cp)
+		}
+	}
+	if latency > 0 {
+		time.AfterFunc(latency, deliver)
+	} else {
+		go deliver()
+	}
+	return nil
+}
+
+func (m *memNode) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.net.mu.Lock()
+	if m.net.nodes[m.id] == m {
+		delete(m.net.nodes, m.id)
+	}
+	m.net.mu.Unlock()
+	return nil
+}

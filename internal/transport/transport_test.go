@@ -1,0 +1,256 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.After(3 * time.Second)
+	for !cond() {
+		select {
+		case <-deadline:
+			t.Fatal(msg)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestInMemRoundTrip(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("a")
+	b := net.Join("b")
+	defer a.Close()
+	defer b.Close()
+
+	var got atomic.Pointer[Envelope]
+	b.SetHandler(func(env *Envelope) { got.Store(env) })
+	err := a.Send("b", &Envelope{Kind: KindCall, ID: 7, ActorType: "player", ActorKey: "p1", Method: "Status", Payload: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return got.Load() != nil }, "no delivery")
+	env := got.Load()
+	if env.From != "a" || env.ID != 7 || env.Method != "Status" || string(env.Payload) != "hi" {
+		t.Fatalf("envelope = %+v", env)
+	}
+}
+
+func TestInMemUnknownNode(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("a")
+	if err := a.Send("ghost", &Envelope{}); err == nil {
+		t.Fatal("expected unknown-node error")
+	}
+}
+
+func TestInMemLatency(t *testing.T) {
+	net := NewNetwork(20 * time.Millisecond)
+	a := net.Join("a")
+	b := net.Join("b")
+	var gotAt atomic.Int64
+	b.SetHandler(func(env *Envelope) { gotAt.Store(time.Now().UnixNano()) })
+	start := time.Now()
+	_ = a.Send("b", &Envelope{})
+	waitFor(t, func() bool { return gotAt.Load() != 0 }, "no delivery")
+	if elapsed := time.Duration(gotAt.Load() - start.UnixNano()); elapsed < 15*time.Millisecond {
+		t.Fatalf("delivered in %v, want ≥ ~20ms", elapsed)
+	}
+}
+
+func TestInMemCloseStopsTraffic(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("a")
+	b := net.Join("b")
+	b.Close()
+	if err := a.Send("b", &Envelope{}); err == nil {
+		t.Fatal("send to departed node should fail")
+	}
+	a.Close()
+	if err := a.Send("b", &Envelope{}); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+	if n := len(net.Nodes()); n != 0 {
+		t.Fatalf("nodes after close: %d", n)
+	}
+}
+
+func TestInMemConcurrentSends(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("a")
+	b := net.Join("b")
+	defer a.Close()
+	defer b.Close()
+	var count atomic.Int64
+	b.SetHandler(func(env *Envelope) { count.Add(1) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = a.Send("b", &Envelope{ID: uint64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return count.Load() == 800 }, "lost messages")
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var got atomic.Pointer[Envelope]
+	b.SetHandler(func(env *Envelope) { got.Store(env) })
+	err = a.Send(b.Node(), &Envelope{Kind: KindCall, ID: 9, Method: "Beat", Payload: []byte{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return got.Load() != nil }, "no tcp delivery")
+	env := got.Load()
+	if env.From != a.Node() || env.ID != 9 || len(env.Payload) != 3 {
+		t.Fatalf("envelope = %+v", env)
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	a, _ := ListenTCP("127.0.0.1:0")
+	b, _ := ListenTCP("127.0.0.1:0")
+	defer a.Close()
+	defer b.Close()
+	var fromA, fromB atomic.Int64
+	a.SetHandler(func(env *Envelope) { fromB.Add(1) })
+	b.SetHandler(func(env *Envelope) { fromA.Add(1) })
+	for i := 0; i < 50; i++ {
+		if err := a.Send(b.Node(), &Envelope{ID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send(a.Node(), &Envelope{ID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return fromA.Load() == 50 && fromB.Load() == 50 }, "lost tcp messages")
+}
+
+func TestTCPUnreachablePeer(t *testing.T) {
+	a, _ := ListenTCP("127.0.0.1:0")
+	defer a.Close()
+	if err := a.Send("127.0.0.1:1", &Envelope{}); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, _ := ListenTCP("127.0.0.1:0")
+	b, _ := ListenTCP("127.0.0.1:0")
+	defer b.Close()
+	a.Close()
+	if err := a.Send(b.Node(), &Envelope{}); err == nil {
+		t.Fatal("expected error after close")
+	}
+	a.Close() // idempotent
+}
+
+func TestTCPConcurrentSends(t *testing.T) {
+	a, _ := ListenTCP("127.0.0.1:0")
+	b, _ := ListenTCP("127.0.0.1:0")
+	defer a.Close()
+	defer b.Close()
+	var count atomic.Int64
+	b.SetHandler(func(env *Envelope) { count.Add(1) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := a.Send(b.Node(), &Envelope{ID: uint64(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return count.Load() == 400 }, "lost concurrent tcp messages")
+}
+
+func TestFlakyDropAll(t *testing.T) {
+	net := NewNetwork(0)
+	a := NewFlaky(net.Join("a"), 1)
+	b := net.Join("b")
+	defer a.Close()
+	defer b.Close()
+	var got atomic.Int64
+	b.SetHandler(func(env *Envelope) { got.Add(1) })
+	a.SetDrop(1.0)
+	for i := 0; i < 20; i++ {
+		if err := a.Send("b", &Envelope{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 0 {
+		t.Fatalf("%d envelopes leaked through a 100%% drop", got.Load())
+	}
+	if a.Dropped() != 20 {
+		t.Fatalf("Dropped = %d", a.Dropped())
+	}
+	a.SetDrop(0)
+	_ = a.Send("b", &Envelope{})
+	waitFor(t, func() bool { return got.Load() == 1 }, "healed transport lost message")
+}
+
+func TestFlakyDelay(t *testing.T) {
+	net := NewNetwork(0)
+	a := NewFlaky(net.Join("a"), 2)
+	b := net.Join("b")
+	defer a.Close()
+	defer b.Close()
+	var gotAt atomic.Int64
+	b.SetHandler(func(env *Envelope) { gotAt.Store(time.Now().UnixNano()) })
+	a.SetDelay(1.0, 30*time.Millisecond)
+	start := time.Now()
+	_ = a.Send("b", &Envelope{})
+	waitFor(t, func() bool { return gotAt.Load() != 0 }, "delayed message never arrived")
+	if elapsed := time.Duration(gotAt.Load() - start.UnixNano()); elapsed < 25*time.Millisecond {
+		t.Fatalf("arrived in %v, want ≥ ~30ms", elapsed)
+	}
+}
+
+func TestFlakyDeterministicSequence(t *testing.T) {
+	run := func() []bool {
+		net := NewNetwork(0)
+		a := NewFlaky(net.Join("a"), 7)
+		defer a.Close()
+		b := net.Join("b")
+		defer b.Close()
+		a.SetDrop(0.5)
+		var pattern []bool
+		for i := 0; i < 32; i++ {
+			before := a.Dropped()
+			_ = a.Send("b", &Envelope{})
+			pattern = append(pattern, a.Dropped() > before)
+		}
+		return pattern
+	}
+	p1, p2 := run(), run()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("fault sequence not deterministic at %d", i)
+		}
+	}
+}

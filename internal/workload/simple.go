@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"time"
+
+	"actop/internal/des"
+	"actop/internal/graph"
+	"actop/internal/sim"
+)
+
+// counterState is the Fig. 4/5 micro-benchmark actor: a client request
+// increments a counter and returns.
+type counterState struct{ n uint64 }
+
+func counterHandler(ctx *sim.Ctx, msg *sim.Message) {
+	if st, ok := ctx.State().(*counterState); ok {
+		st.n++
+	}
+	ctx.ReplyToClient(msg.Req)
+}
+
+// Counter is the single-server counter micro-benchmark (§3, Fig. 4/5):
+// NumActors counter actors on one server, client requests incrementing
+// random counters.
+type Counter struct {
+	C           *sim.Cluster
+	NumActors   int
+	RequestRate float64
+	Seed        int64
+
+	actors []sim.ActorID
+	rng    *des.Rand
+}
+
+// NewCounter creates the workload; all actors land on server 0 (the paper
+// runs it on a single server).
+func NewCounter(c *sim.Cluster, numActors int, rate float64, seed int64) *Counter {
+	w := &Counter{C: c, NumActors: numActors, RequestRate: rate, Seed: seed, rng: des.NewRand(seed)}
+	for i := 0; i < numActors; i++ {
+		w.actors = append(w.actors, c.CreateActorOn(graph.ServerID(0), counterHandler, &counterState{}))
+	}
+	return w
+}
+
+// Start begins Poisson client arrivals.
+func (w *Counter) Start() {
+	if w.RequestRate <= 0 || len(w.actors) == 0 {
+		return
+	}
+	mean := time.Duration(float64(time.Second) / w.RequestRate)
+	var fire func()
+	fire = func() {
+		a := w.actors[w.rng.Intn(len(w.actors))]
+		w.C.SubmitRequest(a, "inc", nil, nil)
+		w.C.K.After(w.rng.Exp(mean), fire)
+	}
+	w.C.K.After(w.rng.Exp(mean), fire)
+}
+
+// Value reads a counter actor's value (for tests).
+func (w *Counter) Value(i int) uint64 {
+	if st, ok := w.C.ActorState(w.actors[i]).(*counterState); ok {
+		return st.n
+	}
+	return 0
+}
+
+// Actors exposes the actor ids.
+func (w *Counter) Actors() []sim.ActorID { return w.actors }
+
+// hbState is one monitored entity's latest status.
+type hbState struct {
+	lastBeat des.Time
+	beats    uint64
+}
+
+func heartbeatHandler(ctx *sim.Ctx, msg *sim.Message) {
+	if st, ok := ctx.State().(*hbState); ok {
+		st.lastBeat = ctx.Now
+		st.beats++
+	}
+	ctx.ReplyToClient(msg.Req)
+}
+
+// Heartbeat is the §6.2 monitoring service: clients periodically update the
+// status of their entity actor; the call pattern is a single actor hop with
+// high fan-in, like running statistics/aggregate/standing-query services.
+type Heartbeat struct {
+	C           *sim.Cluster
+	NumEntities int
+	RequestRate float64
+	Seed        int64
+
+	actors []sim.ActorID
+	rng    *des.Rand
+}
+
+// NewHeartbeat creates the workload on server 0 (the paper runs it on one
+// server, with 8 loader machines).
+func NewHeartbeat(c *sim.Cluster, entities int, rate float64, seed int64) *Heartbeat {
+	w := &Heartbeat{C: c, NumEntities: entities, RequestRate: rate, Seed: seed, rng: des.NewRand(seed)}
+	for i := 0; i < entities; i++ {
+		w.actors = append(w.actors, c.CreateActorOn(graph.ServerID(0), heartbeatHandler, &hbState{}))
+	}
+	return w
+}
+
+// Start begins Poisson heartbeat arrivals over random entities.
+func (w *Heartbeat) Start() {
+	if w.RequestRate <= 0 || len(w.actors) == 0 {
+		return
+	}
+	mean := time.Duration(float64(time.Second) / w.RequestRate)
+	var fire func()
+	fire = func() {
+		a := w.actors[w.rng.Intn(len(w.actors))]
+		w.C.SubmitRequest(a, "beat", nil, nil)
+		w.C.K.After(w.rng.Exp(mean), fire)
+	}
+	w.C.K.After(w.rng.Exp(mean), fire)
+}
+
+// Beats reports total beats recorded by entity i.
+func (w *Heartbeat) Beats(i int) uint64 {
+	if st, ok := w.C.ActorState(w.actors[i]).(*hbState); ok {
+		return st.beats
+	}
+	return 0
+}
