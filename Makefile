@@ -1,0 +1,27 @@
+# Standard-library-only Go project; no generated code, no external tools.
+
+GO ?= go
+
+.PHONY: check build test vet race bench-msgplane
+
+# check is the pre-PR gate: vet, build everything, race-test the
+# concurrency-heavy packages (transport, actor, seda, codec), then the full
+# tier-1 suite.
+check: vet build race test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/transport/... ./internal/actor/... ./internal/seda/... ./internal/codec/...
+
+test:
+	$(GO) test ./...
+
+# bench-msgplane runs the message-plane micro-benchmarks (codec marshal /
+# deep copy, TCP throughput, local/remote call round trips).
+bench-msgplane:
+	$(GO) test -run XXX -bench 'BenchmarkCodec|BenchmarkTCPSendThroughput|BenchmarkMsgPlane' -benchmem ./internal/codec/ ./internal/transport/ .

@@ -8,7 +8,9 @@
 //	actop-bench [flags] <experiment>
 //
 // Experiments: section3, fig4, fig5, fig7, fig10a, fig10b (alias fig10c),
-// fig10d (alias fig10e), fig10f, fig11a, fig11b, throughput, all.
+// fig10d (alias fig10e), fig10f, fig11a, fig11b, throughput, all. The extra
+// msgplane subcommand micro-benchmarks the real runtime's message plane
+// (codec, TCP transport, local/remote calls) instead of a paper figure.
 //
 // By default experiments run at "quick" scale — the same per-server
 // operating point as the paper (load/server, CPU utilization) with a
@@ -124,6 +126,8 @@ func main() {
 			fmt.Print(experiments.RunFig11b(base).Render())
 		case "throughput":
 			fmt.Print(experiments.RunThroughput(base, throughputLoads).Render())
+		case "msgplane":
+			runMsgPlane(*measure)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			usage()
@@ -160,7 +164,8 @@ experiments:
   fig11a      thread-allocation-only improvement (heartbeat)
   fig11b      combined optimizations
   throughput  peak throughput baseline vs ActOp
-  all         everything above
+  msgplane    real-runtime message-plane micro-benchmarks (codec/TCP/calls)
+  all         every figure above (not msgplane)
 
 flags:`)
 	flag.PrintDefaults()

@@ -3,13 +3,23 @@ package actor
 import (
 	"fmt"
 	"sync"
+
+	"actop/internal/codec"
 )
 
 // invocation is one queued actor method call with its completion callback.
+// Exactly one of args/argsVal is meaningful: byte invocations (remote calls,
+// gob-fallback local calls) carry encoded args; value invocations (the
+// zero-copy local fast path) carry an already-isolated value and require the
+// actor to implement ValueReceiver. The callback receives either encoded
+// data or a value result, mirroring the path the turn actually took (a
+// value invocation that races with a migration is forwarded as bytes).
 type invocation struct {
 	method  string
 	args    []byte
-	respond func(data []byte, err error)
+	argsVal interface{}
+	isVal   bool
+	respond func(data []byte, val interface{}, err error)
 }
 
 // activation is one live actor instance with a turn-based mailbox: the
@@ -63,7 +73,7 @@ func (a *activation) schedule(s *System) {
 		a.scheduled = false
 		a.mu.Unlock()
 		for _, inv := range pending {
-			inv.respond(nil, fmt.Errorf("%w: worker queue", ErrOverloaded))
+			inv.respond(nil, nil, fmt.Errorf("%w: worker queue", ErrOverloaded))
 		}
 	}
 }
@@ -105,9 +115,29 @@ func (a *activation) drain(s *System) {
 			continue
 		}
 		ctx := &Context{sys: s, self: a.ref}
+		if inv.isVal {
+			// Zero-copy local turn: args were isolated by the caller via
+			// CopyValue; the result is isolated here, inside the turn,
+			// before the actor can mutate it again.
+			val, err := a.actor.(ValueReceiver).ReceiveValue(ctx, inv.method, inv.argsVal)
+			var data []byte
+			if err == nil && val != nil {
+				if c, ok := val.(codec.Copier); ok {
+					val = c.CopyValue()
+				} else {
+					// No Copier on the result: fall back to serialization
+					// for isolation (decoded by the caller).
+					data, err = codec.Marshal(val)
+					val = nil
+				}
+			}
+			a.turnMu.Unlock()
+			inv.respond(data, val, err)
+			continue
+		}
 		data, err := a.actor.Receive(ctx, inv.method, inv.args)
 		a.turnMu.Unlock()
-		inv.respond(data, err)
+		inv.respond(data, nil, err)
 	}
 	// Batch exhausted: yield the worker and reschedule.
 	a.mu.Lock()
@@ -157,10 +187,20 @@ func (s *System) activationFor(ref Ref, activate bool) (*activation, error) {
 }
 
 // forwardInvocation re-routes an invocation that raced with a migration.
+// Value invocations are serialized at this point: the actor moved to
+// another node (or is moving), so the zero-copy path no longer applies.
 func (s *System) forwardInvocation(ref Ref, inv invocation) {
 	go func() {
-		data, err := s.dispatch(ref, inv.method, inv.args, 0)
-		inv.respond(data, err)
+		args := inv.args
+		if inv.isVal {
+			var err error
+			if args, err = marshalArgs(inv.argsVal); err != nil {
+				inv.respond(nil, nil, err)
+				return
+			}
+		}
+		data, err := s.dispatch(ref, inv.method, args, 0)
+		inv.respond(data, nil, err)
 	}()
 }
 

@@ -48,6 +48,20 @@ type Actor interface {
 	Receive(ctx *Context, method string, args []byte) ([]byte, error)
 }
 
+// ValueReceiver is optionally implemented by actors that accept local
+// calls as plain values, skipping serialization entirely. The runtime
+// invokes ReceiveValue instead of Receive when the callee is co-located
+// with the caller and the arguments implement codec.Copier (or are nil).
+// args is already an isolated copy — the runtime calls CopyValue before
+// the turn — and the returned value is isolated again before it crosses
+// back (via its own CopyValue when implemented, else a serialization
+// round trip). Remote calls and non-Copier arguments continue to arrive
+// through Receive, so implementations must keep both paths semantically
+// identical.
+type ValueReceiver interface {
+	ReceiveValue(ctx *Context, method string, args interface{}) (interface{}, error)
+}
+
 // Migratable is optionally implemented by actors whose state must survive
 // migration and explicit deactivation: Snapshot is taken on the old node,
 // Restore runs on the new one.

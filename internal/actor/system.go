@@ -196,25 +196,104 @@ func (s *System) call(from *Ref, to Ref, method string, args, reply interface{})
 	if !known {
 		return fmt.Errorf("%w: %s", ErrUnknownType, to.Type)
 	}
+	if from != nil {
+		s.observeEdge(*from, to)
+	}
+	// Zero-copy local fast path: no serialization when the callee is
+	// co-located and both sides opt in (ValueReceiver + codec.Copier).
+	if handled, err := s.callLocalValue(to, method, args, reply); handled {
+		return err
+	}
 	var data []byte
 	if args != nil {
 		var err error
-		data, err = codec.Marshal(args)
+		data, err = codec.MarshalAppend(codec.GetBuffer(), args)
 		if err != nil {
 			return err
 		}
 	}
-	if from != nil {
-		s.observeEdge(*from, to)
-	}
 	result, err := s.dispatch(to, method, data, 0)
+	if data != nil && !errors.Is(err, ErrTimeout) {
+		// The callee's turn is over (reply received, or the call was
+		// rejected before delivery), so no reference to the args buffer
+		// survives and it can return to the pool. On timeout the callee
+		// may still be reading it — leak it to the GC instead.
+		codec.PutBuffer(data)
+	}
 	if err != nil {
 		return err
 	}
+	var derr error
 	if reply != nil {
-		return codec.Unmarshal(result, reply)
+		derr = codec.Unmarshal(result, reply)
 	}
-	return nil
+	if result != nil {
+		codec.PutBuffer(result)
+	}
+	return derr
+}
+
+// marshalArgs encodes call arguments (nil stays nil).
+func marshalArgs(args interface{}) ([]byte, error) {
+	if args == nil {
+		return nil, nil
+	}
+	return codec.Marshal(args)
+}
+
+// callLocalValue attempts the zero-copy local call: when the callee is
+// activated on this node, its actor implements ValueReceiver, and the
+// arguments travel by CopyValue, the invocation performs no serialization
+// at all — one deep copy in, one deep copy out, isolation preserved (§2).
+// handled=false falls back to the encoded path (remote callee, missing
+// interfaces, or a placement race — all handled there).
+func (s *System) callLocalValue(to Ref, method string, args, reply interface{}) (bool, error) {
+	var argsCopy interface{}
+	if args != nil {
+		c, ok := args.(codec.Copier)
+		if !ok {
+			return false, nil
+		}
+		argsCopy = c.CopyValue()
+	}
+	act, err := s.activationFor(to, true)
+	if err != nil || act == nil {
+		return false, nil
+	}
+	if _, ok := act.actor.(ValueReceiver); !ok {
+		return false, nil
+	}
+	s.callsLocal.Add(1)
+	type outcome struct {
+		data []byte
+		val  interface{}
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	act.enqueue(invocation{
+		method:  method,
+		argsVal: argsCopy,
+		isVal:   true,
+		respond: func(data []byte, val interface{}, err error) {
+			ch <- outcome{data: data, val: val, err: err}
+		},
+	}, s)
+	select {
+	case out := <-ch:
+		switch {
+		case out.err != nil:
+			return true, out.err
+		case reply == nil:
+			return true, nil
+		case out.val != nil:
+			return true, codec.Assign(reply, out.val)
+		case out.data != nil:
+			return true, codec.Unmarshal(out.data, reply)
+		}
+		return true, nil
+	case <-time.After(s.cfg.CallTimeout):
+		return true, fmt.Errorf("%w: %s.%s", ErrTimeout, to, method)
+	}
 }
 
 // dispatch routes one encoded invocation, following redirects.
@@ -274,7 +353,7 @@ func (s *System) invokeLocal(to Ref, method string, args []byte) ([]byte, error)
 	act.enqueue(invocation{
 		method: method,
 		args:   args,
-		respond: func(data []byte, err error) {
+		respond: func(data []byte, _ interface{}, err error) {
 			ch <- outcome{data: data, err: err}
 		},
 	}, s)
@@ -376,7 +455,7 @@ func (s *System) handleCall(env *transport.Envelope) {
 	act.enqueue(invocation{
 		method: env.Method,
 		args:   env.Payload,
-		respond: func(data []byte, err error) {
+		respond: func(data []byte, _ interface{}, err error) {
 			reply := &transport.Envelope{Kind: transport.KindReply, ID: id, Payload: data}
 			if err != nil {
 				reply.Err = err.Error()

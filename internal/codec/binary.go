@@ -1,0 +1,117 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary primitives for hand-rolled AppendBinary/UnmarshalBinary
+// implementations and for the transport's envelope framing. The Append*
+// helpers extend dst; the Read* helpers consume from the front of data and
+// return the remainder, so decoders chain them:
+//
+//	name, data, err := codec.ReadString(data)
+//	n, data, err := codec.ReadUvarint(data)
+//
+// ReadBytes returns a view into data (zero-copy); callers that retain the
+// slice past the lifetime of data must copy it.
+
+// ErrShortBuffer reports a truncated encoding.
+var ErrShortBuffer = errors.New("codec: short buffer")
+
+// AppendUvarint appends v in unsigned varint encoding.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendVarint appends v in zig-zag signed varint encoding.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendBool appends a single 0/1 byte.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendFloat64 appends v as 8 fixed big-endian bytes.
+func AppendFloat64(dst []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendString appends a uvarint length followed by the string bytes.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends a uvarint length followed by the raw bytes.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// ReadUvarint consumes an unsigned varint from data.
+func ReadUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: uvarint", ErrShortBuffer)
+	}
+	return v, data[n:], nil
+}
+
+// ReadVarint consumes a zig-zag signed varint from data.
+func ReadVarint(data []byte) (int64, []byte, error) {
+	v, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: varint", ErrShortBuffer)
+	}
+	return v, data[n:], nil
+}
+
+// ReadBool consumes a 0/1 byte.
+func ReadBool(data []byte) (bool, []byte, error) {
+	if len(data) < 1 {
+		return false, nil, fmt.Errorf("%w: bool", ErrShortBuffer)
+	}
+	return data[0] != 0, data[1:], nil
+}
+
+// ReadFloat64 consumes 8 fixed big-endian bytes.
+func ReadFloat64(data []byte) (float64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("%w: float64", ErrShortBuffer)
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(data)), data[8:], nil
+}
+
+// ReadString consumes a length-prefixed string (the string is a copy, safe
+// to retain).
+func ReadString(data []byte) (string, []byte, error) {
+	n, rest, err := ReadUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, fmt.Errorf("%w: string of %d bytes", ErrShortBuffer, n)
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// ReadBytes consumes length-prefixed bytes, returning a zero-copy view
+// into data.
+func ReadBytes(data []byte) ([]byte, []byte, error) {
+	n, rest, err := ReadUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(rest)) < n {
+		return nil, nil, fmt.Errorf("%w: bytes of %d", ErrShortBuffer, n)
+	}
+	return rest[:n:n], rest[n:], nil
+}

@@ -3,43 +3,186 @@
 //
 // Orleans serializes arguments for remote calls and deep-copies them for
 // local calls so actors never share mutable state (§2). This package does
-// both through encoding/gob: values cross actor boundaries only by value.
+// both, with a two-tier design: message types may implement the fast-path
+// interfaces (Marshaler/Unmarshaler/Copier) for reflection-free,
+// allocation-light encoding and copying; every other type falls back to
+// encoding/gob. Payloads are self-describing — a one-byte tag selects the
+// decoder — so fast-path and fallback types can mix freely on the wire.
+//
+// Buffer ownership: GetBuffer/PutBuffer recycle payload buffers through a
+// sync.Pool. A buffer passed to PutBuffer must have no other live
+// references; the transport and runtime follow the ownership rules spelled
+// out in DESIGN.md ("Message plane").
 package codec
 
 import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Marshaler is the fast-path encoder interface: implementations append
+// their binary encoding to dst (which may have existing data and spare
+// capacity) and return the extended slice, bypassing reflection entirely.
+// Implement it on the value receiver so both T and *T hit the fast path.
+type Marshaler interface {
+	AppendBinary(dst []byte) ([]byte, error)
+}
+
+// Unmarshaler is the fast-path decoder interface (the standard library's
+// encoding.BinaryUnmarshaler contract): data holds exactly one value
+// previously produced by AppendBinary. Implementations must not retain
+// data — it may be a view into a pooled buffer.
+type Unmarshaler interface {
+	UnmarshalBinary(data []byte) error
+}
+
+// Copier is the fast-path deep-copy interface for local calls: CopyValue
+// returns a copy sharing no mutable state with the receiver. To match the
+// gob fallback's semantics, implementations should normalize zero-length
+// slices and maps to nil.
+type Copier interface {
+	CopyValue() interface{}
+}
+
+// Payload tags: the first byte of every Marshal output selects the decoder.
+const (
+	tagGob byte = 'G' // gob-encoded fallback
+	tagBin byte = 'B' // Marshaler fast path
 )
 
 // Register makes a concrete type encodable when passed through interface
 // fields (a thin wrapper over gob.Register so callers need not import gob).
 func Register(v interface{}) { gob.Register(v) }
 
-// Marshal serializes v.
-func Marshal(v interface{}) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("codec: marshal %T: %w", v, err)
-	}
-	return buf.Bytes(), nil
+// --- pooled buffers ---
+
+// maxPooledBuf bounds the capacity of recycled buffers so one huge payload
+// doesn't pin memory in the pool forever.
+const maxPooledBuf = 64 << 10
+
+var bufPool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// GetBuffer returns a zero-length buffer with pooled capacity. Pass it to
+// MarshalAppend and return it with PutBuffer when no reference to it (or
+// any slice of it) remains live.
+func GetBuffer() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
 }
 
-// Unmarshal deserializes data into v (a non-nil pointer).
+// PutBuffer recycles a buffer obtained from GetBuffer (or anywhere else —
+// the pool does not care about provenance). Oversized buffers are dropped.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// gobBufPool recycles the scratch buffers behind gob fallback encoding.
+var gobBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// MarshalAppend appends the encoding of v to dst and returns the extended
+// slice. Types implementing Marshaler encode reflection-free; everything
+// else goes through gob (a fresh encoder per value, so the output is
+// self-contained — stream-sticky encoders live in the transport layer).
+func MarshalAppend(dst []byte, v interface{}) ([]byte, error) {
+	if m, ok := v.(Marshaler); ok {
+		out, err := m.AppendBinary(append(dst, tagBin))
+		if err != nil {
+			return nil, fmt.Errorf("codec: marshal %T: %w", v, err)
+		}
+		return out, nil
+	}
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		gobBufPool.Put(buf)
+		return nil, fmt.Errorf("codec: marshal %T: %w", v, err)
+	}
+	dst = append(append(dst, tagGob), buf.Bytes()...)
+	gobBufPool.Put(buf)
+	return dst, nil
+}
+
+// Marshal serializes v into a fresh buffer.
+func Marshal(v interface{}) ([]byte, error) {
+	return MarshalAppend(nil, v)
+}
+
+// Unmarshal deserializes data into v (a non-nil pointer), dispatching on
+// the payload tag.
 func Unmarshal(data []byte, v interface{}) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
-		return fmt.Errorf("codec: unmarshal into %T: %w", v, err)
+	if len(data) == 0 {
+		return fmt.Errorf("codec: unmarshal into %T: empty payload", v)
+	}
+	switch data[0] {
+	case tagBin:
+		u, ok := v.(Unmarshaler)
+		if !ok {
+			return fmt.Errorf("codec: %T cannot decode a fast-path payload (no UnmarshalBinary)", v)
+		}
+		if err := u.UnmarshalBinary(data[1:]); err != nil {
+			return fmt.Errorf("codec: unmarshal into %T: %w", v, err)
+		}
+		return nil
+	case tagGob:
+		if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(v); err != nil {
+			return fmt.Errorf("codec: unmarshal into %T: %w", v, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("codec: unmarshal into %T: unknown payload tag %#x", v, data[0])
+	}
+}
+
+// Assign sets the value pointed to by dst to src. src may be a pointer of
+// dst's type or a value assignable to dst's element type. It is the last
+// step of a fast-path local call: the copy was already taken by CopyValue,
+// Assign only stores it.
+func Assign(dst, src interface{}) error {
+	dv := reflect.ValueOf(dst)
+	if dv.Kind() != reflect.Pointer || dv.IsNil() {
+		return fmt.Errorf("codec: assign target must be a non-nil pointer, got %T", dst)
+	}
+	sv := reflect.ValueOf(src)
+	switch {
+	case !sv.IsValid():
+		return fmt.Errorf("codec: cannot assign nil to %T", dst)
+	case sv.Kind() == reflect.Pointer && sv.Type() == dv.Type():
+		dv.Elem().Set(sv.Elem())
+	case sv.Type().AssignableTo(dv.Elem().Type()):
+		dv.Elem().Set(sv)
+	default:
+		return fmt.Errorf("codec: cannot assign %T to %T", src, dst)
 	}
 	return nil
 }
 
-// DeepCopy copies src into dst (both pointers to the same type) through a
-// full encode/decode round trip, guaranteeing the isolation semantics of a
-// local actor call: no aliasing survives.
+// DeepCopy copies src into dst (both pointers to the same type),
+// guaranteeing the isolation semantics of a local actor call: no aliasing
+// survives. Types implementing Copier are copied without serialization;
+// everything else pays an encode/decode round trip through a pooled
+// buffer.
 func DeepCopy(dst, src interface{}) error {
-	data, err := Marshal(src)
+	if c, ok := src.(Copier); ok {
+		if err := Assign(dst, c.CopyValue()); err == nil {
+			return nil
+		}
+		// Shape mismatch (e.g. CopyValue returned a different type):
+		// fall through to the serializing path, which type-checks.
+	}
+	buf, err := MarshalAppend(GetBuffer(), src)
 	if err != nil {
 		return err
 	}
-	return Unmarshal(data, dst)
+	err = Unmarshal(buf, dst)
+	PutBuffer(buf)
+	return err
 }

@@ -1,0 +1,91 @@
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Length-prefixed framing over a byte stream. Each connection owns one
+// sticky FrameWriter/FrameReader pair for its whole lifetime, so the
+// bufio buffers and the reader's frame scratch buffer are paid once per
+// connection, not once per message.
+//
+// Wire format: a 4-byte big-endian frame length followed by the frame
+// body. The body's interpretation (the envelope encoding) belongs to the
+// transport layer.
+
+// MaxFrameSize bounds a single frame (64 MiB) so a corrupt length prefix
+// cannot trigger an absurd allocation.
+const MaxFrameSize = 64 << 20
+
+// frameBufSize sizes the per-connection bufio buffers: big enough to
+// coalesce many small envelopes into one syscall.
+const frameBufSize = 64 << 10
+
+// FrameWriter writes length-prefixed frames through a buffered writer.
+// Writes accumulate in the buffer until Flush — the transport flushes only
+// when its outbound queue drains, coalescing back-to-back messages into
+// single syscalls. Not safe for concurrent use; the transport serializes
+// access through the per-peer writer goroutine.
+type FrameWriter struct {
+	w *bufio.Writer
+}
+
+// NewFrameWriter wraps w (typically a net.Conn).
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: bufio.NewWriterSize(w, frameBufSize)}
+}
+
+// WriteFrame appends one frame to the stream buffer. The frame is copied;
+// the caller may recycle it immediately.
+func (f *FrameWriter) WriteFrame(frame []byte) error {
+	if len(frame) > MaxFrameSize {
+		return fmt.Errorf("codec: frame of %d bytes exceeds limit", len(frame))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := f.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := f.w.Write(frame)
+	return err
+}
+
+// Flush pushes buffered frames to the underlying writer.
+func (f *FrameWriter) Flush() error { return f.w.Flush() }
+
+// FrameReader reads length-prefixed frames, reusing one scratch buffer
+// across reads. Not safe for concurrent use.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r (typically a net.Conn).
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReaderSize(r, frameBufSize)}
+}
+
+// ReadFrame returns the next frame body. The returned slice is the
+// reader's scratch buffer: it is valid only until the next ReadFrame, and
+// anything retained from it (e.g. an envelope payload) must be copied out.
+func (f *FrameReader) ReadFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("codec: frame of %d bytes exceeds limit", n)
+	}
+	if cap(f.buf) < int(n) {
+		f.buf = make([]byte, n)
+	}
+	buf := f.buf[:n]
+	if _, err := io.ReadFull(f.r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

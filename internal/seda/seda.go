@@ -46,10 +46,17 @@ type queued struct {
 type Stage struct {
 	name string
 
-	mu      sync.Mutex
+	// closeMu serializes Submit against Close: submitters hold it shared
+	// (cheap, uncontended on the hot path), Close holds it exclusively
+	// while closing the queue channel, so a task can never be sent on a
+	// closed channel. The closed flag is atomic so Submit's fast path
+	// takes no exclusive lock at all.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
 	queue   chan queued
+
+	mu      sync.Mutex
 	stops   []chan struct{} // one per live worker
-	closed  bool
 	workers int
 
 	// window counters (atomics so task paths don't take the lock)
@@ -81,12 +88,12 @@ func NewStage(name string, queueCap, workers int) *Stage {
 func (s *Stage) Name() string { return s.name }
 
 // Submit enqueues a task. It never blocks: a full queue returns
-// ErrQueueFull so callers can shed load.
+// ErrQueueFull so callers can shed load. The hot path takes only a shared
+// lock, so concurrent submitters do not serialize behind each other.
 func (s *Stage) Submit(t Task) error {
-	s.mu.Lock()
-	closed := s.closed
-	s.mu.Unlock()
-	if closed {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	select {
@@ -137,7 +144,7 @@ func (s *Stage) SetWorkers(n int) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return
 	}
 	switch {
@@ -179,20 +186,20 @@ func (s *Stage) Snapshot() Stats {
 // Close stops all workers after the queued tasks drain and rejects further
 // submissions. It blocks until workers exit.
 func (s *Stage) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.closeMu.Lock()
+	if s.closed.Swap(true) {
+		s.closeMu.Unlock()
 		s.wg.Wait()
 		return
 	}
-	s.closed = true
 	// Release workers blocked on the queue by closing it; drain semantics:
-	// workers finish whatever is buffered first.
+	// workers finish whatever is buffered first. The exclusive lock
+	// guarantees no Submit is mid-send on the channel.
 	close(s.queue)
-	stops := s.stops
-	s.stops = nil
+	s.closeMu.Unlock()
+	s.mu.Lock()
+	s.stops = nil // workers exit via the closed queue; stop channels are moot
 	s.mu.Unlock()
-	_ = stops // workers exit via the closed queue; stop channels become moot
 	s.wg.Wait()
 }
 

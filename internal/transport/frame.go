@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"fmt"
+
+	"actop/internal/codec"
+)
+
+// Hand-rolled binary envelope encoding for the TCP transport: the envelope
+// scaffolding (kind, id, addressing strings) is written field by field with
+// varint/length-prefixed primitives — no reflection, no per-message type
+// descriptors — and the payload rides along as opaque bytes. One envelope
+// per codec frame.
+
+// appendEnvelope appends env's wire encoding to dst.
+func appendEnvelope(dst []byte, env *Envelope) []byte {
+	dst = append(dst, byte(env.Kind))
+	dst = codec.AppendUvarint(dst, env.ID)
+	dst = codec.AppendString(dst, string(env.From))
+	dst = codec.AppendString(dst, env.ActorType)
+	dst = codec.AppendString(dst, env.ActorKey)
+	dst = codec.AppendString(dst, env.Method)
+	dst = codec.AppendString(dst, env.Err)
+	dst = codec.AppendBytes(dst, env.Payload)
+	return dst
+}
+
+// internerCap bounds a connection's string-intern table; on overflow the
+// table resets (steady-state traffic re-warms it immediately).
+const internerCap = 4096
+
+// interner deduplicates the envelope's addressing strings (From, actor
+// type/key, method) per connection: the same peer sends the same handful of
+// strings on every message, so after warm-up decode allocates nothing for
+// them. The map lookup on a []byte key compiles to zero allocations.
+type interner struct{ m map[string]string }
+
+func newInterner() *interner { return &interner{m: make(map[string]string)} }
+
+func (in *interner) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	if len(in.m) >= internerCap {
+		in.m = make(map[string]string)
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}
+
+// readInterned consumes a length-prefixed string through the interner.
+func readInterned(data []byte, in *interner) (string, []byte, error) {
+	b, rest, err := codec.ReadBytes(data)
+	if err != nil {
+		return "", nil, err
+	}
+	return in.intern(b), rest, nil
+}
+
+// decodeEnvelope parses one envelope from a frame. The frame buffer is
+// transient (it belongs to the connection's FrameReader), so the payload is
+// copied into a fresh buffer the receiver owns outright and the strings are
+// interned through the connection's table.
+func decodeEnvelope(frame []byte, in *interner) (*Envelope, error) {
+	if len(frame) < 1 {
+		return nil, fmt.Errorf("transport: empty frame")
+	}
+	env := &Envelope{Kind: Kind(frame[0])}
+	data := frame[1:]
+	var err error
+	var id uint64
+	if id, data, err = codec.ReadUvarint(data); err != nil {
+		return nil, fmt.Errorf("transport: decode envelope id: %w", err)
+	}
+	env.ID = id
+	var s string
+	if s, data, err = readInterned(data, in); err != nil {
+		return nil, fmt.Errorf("transport: decode envelope from: %w", err)
+	}
+	env.From = NodeID(s)
+	if env.ActorType, data, err = readInterned(data, in); err != nil {
+		return nil, fmt.Errorf("transport: decode envelope type: %w", err)
+	}
+	if env.ActorKey, data, err = readInterned(data, in); err != nil {
+		return nil, fmt.Errorf("transport: decode envelope key: %w", err)
+	}
+	if env.Method, data, err = readInterned(data, in); err != nil {
+		return nil, fmt.Errorf("transport: decode envelope method: %w", err)
+	}
+	// Err is not interned: error strings are often unique and would churn
+	// the table; they are also rare, so the copy is cheap.
+	if env.Err, data, err = codec.ReadString(data); err != nil {
+		return nil, fmt.Errorf("transport: decode envelope err: %w", err)
+	}
+	var p []byte
+	if p, _, err = codec.ReadBytes(data); err != nil {
+		return nil, fmt.Errorf("transport: decode envelope payload: %w", err)
+	}
+	if len(p) > 0 {
+		env.Payload = append(make([]byte, 0, len(p)), p...)
+	}
+	return env, nil
+}

@@ -1,32 +1,102 @@
 package transport
 
 import (
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
+
+	"actop/internal/codec"
 )
 
-// TCP is a Transport over real sockets: one listener per node, lazily
-// dialed outbound connections (one per peer, serialized writes), gob-framed
-// envelopes. Node ids are the listen addresses, so peers need no separate
-// name service.
+// TCP is a Transport over real sockets, built for message throughput:
+//
+//   - Envelopes travel as hand-rolled length-prefixed binary frames (see
+//     frame.go) — no reflection, no per-message gob type descriptors.
+//   - Each peer has one lazily dialed connection drained by a dedicated
+//     writer goroutine over a buffered FrameWriter. Senders enqueue and
+//     return; the writer flushes only when the outbound queue is empty, so
+//     bursts of messages coalesce into single syscalls.
+//   - Inbound frames are decoded on the read loop but dispatched to the
+//     handler on a separate per-connection goroutine, so one slow handler
+//     cannot head-of-line-block frame reading on that connection.
+//
+// Node ids are the listen addresses, so peers need no separate name
+// service.
+//
+// Error semantics: a dial failure surfaces as ErrUnreachable from Send (the
+// address is known, the peer is not reachable right now). A write failure
+// on an established connection redials once and retransmits; only write
+// failures trigger redials. Handlers must not call Close (Close waits for
+// in-flight handler invocations to return).
 type TCP struct {
 	id       NodeID
 	listener net.Listener
 
 	mu      sync.Mutex
 	handler Handler
-	conns   map[NodeID]*tcpConn
+	peers   map[NodeID]*tcpPeer
 	inbound map[net.Conn]struct{}
 	closed  bool
+
+	closeCh chan struct{}
 	wg      sync.WaitGroup
 }
 
-type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+// outboundQueueCap bounds each peer's send queue; a full queue blocks Send
+// (backpressure) until the writer drains or the transport closes.
+const outboundQueueCap = 1024
+
+// inboundQueueCap bounds each connection's decoded-envelope queue between
+// the read loop and the dispatch goroutine.
+const inboundQueueCap = 1024
+
+// envPool recycles the sender-side envelope copies between Send and the
+// writer goroutine: Send takes one, the writer returns it after encoding.
+// The pooled struct never carries live references out (it is zeroed before
+// Put), and the caller's payload slice is only read, never retained, once
+// the frame bytes are built.
+var envPool = sync.Pool{New: func() interface{} { return new(Envelope) }}
+
+func recycleEnvelope(e *Envelope) {
+	*e = Envelope{}
+	envPool.Put(e)
+}
+
+// tcpPeer is one outbound connection: a bounded envelope queue drained by
+// a writer goroutine.
+type tcpPeer struct {
+	to   NodeID
+	ch   chan *Envelope
+	dead chan struct{} // closed when the writer gives up; senders retry
+
+	mu     sync.Mutex
+	conn   net.Conn // current socket; swapped on redial, slammed by Close
+	closed bool
+}
+
+// setConn installs a fresh socket, unless the peer was closed meanwhile.
+func (p *tcpPeer) setConn(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.conn = c
+	return true
+}
+
+// closeConn tears the peer down, unblocking a writer stuck in a syscall.
+func (p *tcpPeer) closeConn() {
+	p.mu.Lock()
+	p.closed = true
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.mu.Unlock()
 }
 
 // ListenTCP starts a node listening on addr ("host:port"; ":0" picks a free
@@ -39,8 +109,9 @@ func ListenTCP(addr string) (*TCP, error) {
 	t := &TCP{
 		id:       NodeID(l.Addr().String()),
 		listener: l,
-		conns:    make(map[NodeID]*tcpConn),
+		peers:    make(map[NodeID]*tcpPeer),
 		inbound:  make(map[net.Conn]struct{}),
+		closeCh:  make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -56,6 +127,8 @@ func (t *TCP) SetHandler(h Handler) {
 	t.handler = h
 	t.mu.Unlock()
 }
+
+// --- inbound path ---
 
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
@@ -77,6 +150,9 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
+// readLoop decodes frames off one connection and feeds the dispatch
+// goroutine; it never invokes the handler itself, so a slow handler delays
+// only its own connection's queue, not frame reading.
 func (t *TCP) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -85,101 +161,218 @@ func (t *TCP) readLoop(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	q := make(chan *Envelope, inboundQueueCap)
+	t.wg.Add(1) // safe: this goroutine already holds a wg count
+	go t.dispatchLoop(q)
+	defer close(q)
+	fr := codec.NewFrameReader(conn)
+	in := newInterner()
 	for {
-		var env Envelope
-		if err := dec.Decode(&env); err != nil {
+		frame, err := fr.ReadFrame()
+		if err != nil {
 			return
+		}
+		env, err := decodeEnvelope(frame, in)
+		if err != nil {
+			return // corrupt stream: drop the connection
+		}
+		select {
+		case q <- env:
+		case <-t.closeCh:
+			return
+		}
+	}
+}
+
+// dispatchLoop hands decoded envelopes to the handler. Close waits for it
+// to exit, so no handler invocation is in flight once Close returns;
+// envelopes still queued when Close begins are dropped.
+func (t *TCP) dispatchLoop(q chan *Envelope) {
+	defer t.wg.Done()
+	for env := range q {
+		select {
+		case <-t.closeCh:
+			continue // draining after Close: drop, just unblock the reader
+		default:
 		}
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()
 		if h != nil {
-			h(&env)
+			h(env)
 		}
 	}
 }
 
-// Send delivers env to the peer listening at `to`, dialing on first use.
-// On a write error the cached connection is dropped and one redial is
-// attempted.
+// --- outbound path ---
+
+// Send enqueues env for the peer listening at `to`, dialing on first use.
+// It returns once the envelope is queued (the writer goroutine owns the
+// socket); a full queue blocks until the writer catches up. A dial failure
+// returns ErrUnreachable. If the peer's writer died of a write failure,
+// Send drops the dead peer and retries once through a fresh dial.
 func (t *TCP) Send(to NodeID, env *Envelope) error {
-	cp := *env
+	cp := envPool.Get().(*Envelope)
+	*cp = *env
 	cp.From = t.id
 	for attempt := 0; attempt < 2; attempt++ {
-		c, err := t.conn(to)
+		p, err := t.peer(to)
 		if err != nil {
+			recycleEnvelope(cp)
 			return err
 		}
-		c.mu.Lock()
-		err = c.enc.Encode(&cp)
-		c.mu.Unlock()
-		if err == nil {
-			return nil
+		select {
+		case p.ch <- cp:
+			return nil // the writer owns cp now and recycles it
+		case <-p.dead:
+			// The writer hit a write error and gave up; forget this peer
+			// and redial (write failures are the only redial trigger).
+			t.dropPeer(to, p)
+		case <-t.closeCh:
+			recycleEnvelope(cp)
+			return ErrClosed
 		}
-		t.dropConn(to, c)
 	}
-	return fmt.Errorf("transport: send to %s failed after retry", to)
+	recycleEnvelope(cp)
+	return fmt.Errorf("transport: send to %s failed after redial", to)
 }
 
-func (t *TCP) conn(to NodeID) (*tcpConn, error) {
+// peer returns the outbound peer for `to`, dialing and starting its writer
+// on first use.
+func (t *TCP) peer(to NodeID) (*tcpPeer, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if c, ok := t.conns[to]; ok {
+	if p, ok := t.peers[to]; ok {
 		t.mu.Unlock()
-		return c, nil
+		return p, nil
 	}
 	t.mu.Unlock()
 
 	conn, err := net.Dial("tcp", string(to))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s (%v)", ErrUnknownNode, to, err)
+		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
 	}
-	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	p := &tcpPeer{
+		to:   to,
+		ch:   make(chan *Envelope, outboundQueueCap),
+		dead: make(chan struct{}),
+		conn: conn,
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		conn.Close()
 		return nil, ErrClosed
 	}
-	if existing, ok := t.conns[to]; ok {
+	if existing, ok := t.peers[to]; ok {
+		t.mu.Unlock()
 		conn.Close() // lost the race; reuse the winner
 		return existing, nil
 	}
-	t.conns[to] = c
-	return c, nil
+	t.peers[to] = p
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go t.writeLoop(p)
+	return p, nil
 }
 
-func (t *TCP) dropConn(to NodeID, c *tcpConn) {
+func (t *TCP) dropPeer(to NodeID, p *tcpPeer) {
 	t.mu.Lock()
-	if t.conns[to] == c {
-		delete(t.conns, to)
+	if t.peers[to] == p {
+		delete(t.peers, to)
 	}
 	t.mu.Unlock()
-	c.conn.Close()
+	p.closeConn()
 }
 
-// Close shuts the listener and all connections.
+// writeLoop drains one peer's queue: encode into a pooled buffer, write
+// through the buffered FrameWriter, and flush only when the queue is empty
+// so consecutive messages share a flush (and a syscall).
+func (t *TCP) writeLoop(p *tcpPeer) {
+	defer t.wg.Done()
+	defer p.closeConn()
+	fw := codec.NewFrameWriter(p.conn)
+	buf := codec.GetBuffer()
+	defer codec.PutBuffer(buf)
+	for {
+		select {
+		case <-t.closeCh:
+			fw.Flush() // best effort on shutdown
+			return
+		case env := <-p.ch:
+			buf = appendEnvelope(buf[:0], env)
+			recycleEnvelope(env) // frame bytes built; the copy is dead
+			var err error
+			if fw, err = t.writeFrame(p, fw, buf); err != nil {
+				close(p.dead)
+				t.dropPeer(p.to, p)
+				return
+			}
+		}
+	}
+}
+
+// writeFrame writes one frame, flushing when the queue is drained. On a
+// write failure it redials once and retransmits the frame on the fresh
+// connection (returning the new writer); a failed redial propagates the
+// original write error.
+func (t *TCP) writeFrame(p *tcpPeer, fw *codec.FrameWriter, frame []byte) (*codec.FrameWriter, error) {
+	err := fw.WriteFrame(frame)
+	if err == nil && len(p.ch) == 0 {
+		err = fw.Flush()
+	}
+	if err == nil {
+		return fw, nil
+	}
+	select {
+	case <-t.closeCh:
+		return fw, err // shutting down: don't redial
+	default:
+	}
+	conn, derr := net.Dial("tcp", string(p.to))
+	if derr != nil {
+		return fw, err
+	}
+	if !p.setConn(conn) {
+		return fw, err // peer was closed while redialing
+	}
+	nfw := codec.NewFrameWriter(conn)
+	if werr := nfw.WriteFrame(frame); werr != nil {
+		return nfw, werr
+	}
+	if len(p.ch) == 0 {
+		if werr := nfw.Flush(); werr != nil {
+			return nfw, werr
+		}
+	}
+	return nfw, nil
+}
+
+// Close shuts the listener and all connections, then waits for every
+// read/write/dispatch goroutine — including any in-flight handler
+// invocation — to finish.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
+		t.wg.Wait()
 		return nil
 	}
 	t.closed = true
-	conns := t.conns
-	t.conns = map[NodeID]*tcpConn{}
+	peers := t.peers
+	t.peers = map[NodeID]*tcpPeer{}
 	inbound := make([]net.Conn, 0, len(t.inbound))
 	for c := range t.inbound {
 		inbound = append(inbound, c)
 	}
 	t.mu.Unlock()
+	close(t.closeCh)
 	t.listener.Close()
-	for _, c := range conns {
-		c.conn.Close()
+	for _, p := range peers {
+		p.closeConn()
 	}
 	for _, c := range inbound {
 		c.Close()

@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTCPCloseUnderLoad hammers a receiver with concurrent senders and
+// closes it mid-flood. Close's contract: when it returns, no handler
+// invocation is in flight and none will start. The in-flight gauge must
+// read zero right after Close, and the closed flag set immediately after
+// Close returns must never be observed by a handler entry. Run with -race
+// (the Makefile check target does) to shake out shutdown races.
+func TestTCPCloseUnderLoad(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		inFlight     atomic.Int64
+		delivered    atomic.Int64
+		closeDone    atomic.Bool
+		startedAfter atomic.Int64
+	)
+	b.SetHandler(func(env *Envelope) {
+		if closeDone.Load() {
+			startedAfter.Add(1)
+		}
+		inFlight.Add(1)
+		time.Sleep(100 * time.Microsecond) // widen the race window
+		delivered.Add(1)
+		inFlight.Add(-1)
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := make([]byte, 128)
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Errors are expected once b goes down; keep flooding.
+				_ = a.Send(b.Node(), &Envelope{ID: i, Payload: payload})
+			}
+		}()
+	}
+
+	// Let traffic establish, then close under load.
+	waitFor(t, func() bool { return delivered.Load() > 50 }, "no traffic before close")
+	b.Close()
+	closeDone.Store(true)
+	if n := inFlight.Load(); n != 0 {
+		t.Errorf("%d handler invocations in flight after Close returned", n)
+	}
+	close(stop)
+	wg.Wait()
+	// Give any straggling (buggy) dispatch a chance to fire before asserting.
+	time.Sleep(10 * time.Millisecond)
+	if n := startedAfter.Load(); n != 0 {
+		t.Errorf("%d handler invocations started after Close returned", n)
+	}
+}
+
+// TestTCPUnreachableError pins the Send error semantics: a dial failure is
+// ErrUnreachable (the address is known but not answering), NOT
+// ErrUnknownNode (which the in-memory transport reserves for addresses that
+// were never part of the network).
+func TestTCPUnreachableError(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	serr := a.Send("127.0.0.1:1", &Envelope{})
+	if serr == nil {
+		t.Fatal("expected dial error")
+	}
+	if !errors.Is(serr, ErrUnreachable) {
+		t.Fatalf("dial failure = %v, want ErrUnreachable", serr)
+	}
+	if errors.Is(serr, ErrUnknownNode) {
+		t.Fatalf("dial failure reported as ErrUnknownNode: %v", serr)
+	}
+	// A dial failure must not leave a half-built peer behind.
+	a.mu.Lock()
+	n := len(a.peers)
+	a.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d peers cached after failed dial", n)
+	}
+}
+
+// TestTCPWriterRedial kills the receiver and restarts it on the same
+// address: the established connection dies, the writer (or a Send retry
+// through the dead-peer path) must redial, and traffic must flow again
+// without the caller doing anything special.
+func TestTCPWriterRedial(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := string(b.Node())
+
+	var before atomic.Int64
+	b.SetHandler(func(env *Envelope) { before.Add(1) })
+	if err := a.Send(b.Node(), &Envelope{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return before.Load() == 1 }, "no delivery before restart")
+
+	b.Close()
+	b2, err := ListenTCP(addr)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	defer b2.Close()
+	var after atomic.Int64
+	b2.SetHandler(func(env *Envelope) { after.Add(1) })
+
+	// The first writes after the restart may land in the dead socket's
+	// kernel buffer; keep sending until one arrives through a redialed
+	// connection.
+	deadline := time.After(5 * time.Second)
+	for after.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no delivery after peer restart: writer never redialed")
+		default:
+		}
+		_ = a.Send(b2.Node(), &Envelope{ID: 2})
+		time.Sleep(5 * time.Millisecond)
+	}
+}

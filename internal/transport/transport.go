@@ -1,7 +1,14 @@
 // Package transport carries actor-runtime messages between nodes. Two
 // implementations are provided: an in-memory transport for single-process
 // multi-node clusters (tests, examples, simulations of deployments) and a
-// TCP transport (length-delimited gob frames) for real distributed runs.
+// TCP transport (length-prefixed binary frames, write-coalescing per-peer
+// writer goroutines) for real distributed runs.
+//
+// Payload ownership: Envelope.Payload handed to a Handler is owned by the
+// receiver and may be retained indefinitely. Payloads passed to Send must
+// remain unmodified until the Send completes delivery (TCP sends are
+// asynchronous: the bytes are copied into the wire frame by the writer
+// goroutine after Send returns).
 package transport
 
 import (
@@ -67,8 +74,14 @@ type Transport interface {
 }
 
 // ErrUnknownNode is returned when sending to a node the transport cannot
-// resolve.
+// resolve (the id is not part of the fabric at all).
 var ErrUnknownNode = errors.New("transport: unknown node")
+
+// ErrUnreachable is returned when a known address cannot be dialed — the
+// node exists in the membership but is transiently unreachable. Callers
+// that treat ErrUnknownNode as permanent should treat ErrUnreachable as
+// retryable.
+var ErrUnreachable = errors.New("transport: peer unreachable")
 
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("transport: closed")

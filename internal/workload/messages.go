@@ -1,0 +1,214 @@
+package workload
+
+import "actop/internal/codec"
+
+// Wire message types for the real-runtime workloads (presence queries,
+// heartbeats, counters), each implementing the codec fast-path interfaces:
+// AppendBinary/UnmarshalBinary encode field-by-field with varint
+// primitives (no reflection, no gob type descriptors) and CopyValue deep
+// copies without any serialization for co-located calls.
+//
+// The implementations must round-trip identically to the gob fallback —
+// messages_test.go property-checks this — which is why zero-length slices
+// normalize to nil (gob decodes an empty slice as nil).
+
+// PresenceQuery asks a player actor for its status.
+type PresenceQuery struct {
+	Player         string
+	IncludeMembers bool
+}
+
+// AppendBinary implements codec.Marshaler.
+func (q PresenceQuery) AppendBinary(dst []byte) ([]byte, error) {
+	dst = codec.AppendString(dst, q.Player)
+	return codec.AppendBool(dst, q.IncludeMembers), nil
+}
+
+// MarshalBinary keeps gob symmetric with UnmarshalBinary: gob treats any
+// BinaryUnmarshaler as binary-encoded, so the encode side must match.
+func (q PresenceQuery) MarshalBinary() ([]byte, error) { return q.AppendBinary(nil) }
+
+// UnmarshalBinary implements codec.Unmarshaler.
+func (q *PresenceQuery) UnmarshalBinary(data []byte) error {
+	var err error
+	if q.Player, data, err = codec.ReadString(data); err != nil {
+		return err
+	}
+	q.IncludeMembers, _, err = codec.ReadBool(data)
+	return err
+}
+
+// CopyValue implements codec.Copier.
+func (q PresenceQuery) CopyValue() interface{} { return q }
+
+// PresenceStatus is a player actor's answer: its game (if any) and,
+// optionally, the other members.
+type PresenceStatus struct {
+	Player  string
+	Game    string
+	InGame  bool
+	Members []string
+}
+
+// AppendBinary implements codec.Marshaler.
+func (p PresenceStatus) AppendBinary(dst []byte) ([]byte, error) {
+	dst = codec.AppendString(dst, p.Player)
+	dst = codec.AppendString(dst, p.Game)
+	dst = codec.AppendBool(dst, p.InGame)
+	dst = codec.AppendUvarint(dst, uint64(len(p.Members)))
+	for _, m := range p.Members {
+		dst = codec.AppendString(dst, m)
+	}
+	return dst, nil
+}
+
+// MarshalBinary keeps gob symmetric with UnmarshalBinary: gob treats any
+// BinaryUnmarshaler as binary-encoded, so the encode side must match.
+func (p PresenceStatus) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// UnmarshalBinary implements codec.Unmarshaler.
+func (p *PresenceStatus) UnmarshalBinary(data []byte) error {
+	var err error
+	if p.Player, data, err = codec.ReadString(data); err != nil {
+		return err
+	}
+	if p.Game, data, err = codec.ReadString(data); err != nil {
+		return err
+	}
+	if p.InGame, data, err = codec.ReadBool(data); err != nil {
+		return err
+	}
+	var n uint64
+	if n, data, err = codec.ReadUvarint(data); err != nil {
+		return err
+	}
+	p.Members = nil
+	if n > 0 {
+		p.Members = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var m string
+			if m, data, err = codec.ReadString(data); err != nil {
+				return err
+			}
+			p.Members = append(p.Members, m)
+		}
+	}
+	return nil
+}
+
+// CopyValue implements codec.Copier.
+func (p PresenceStatus) CopyValue() interface{} {
+	if len(p.Members) == 0 {
+		p.Members = nil
+		return p
+	}
+	p.Members = append([]string(nil), p.Members...)
+	return p
+}
+
+// Beat is one heartbeat update for a monitored entity.
+type Beat struct {
+	Entity string
+	At     int64
+	Seq    uint64
+}
+
+// AppendBinary implements codec.Marshaler.
+func (b Beat) AppendBinary(dst []byte) ([]byte, error) {
+	dst = codec.AppendString(dst, b.Entity)
+	dst = codec.AppendVarint(dst, b.At)
+	return codec.AppendUvarint(dst, b.Seq), nil
+}
+
+// MarshalBinary keeps gob symmetric with UnmarshalBinary: gob treats any
+// BinaryUnmarshaler as binary-encoded, so the encode side must match.
+func (b Beat) MarshalBinary() ([]byte, error) { return b.AppendBinary(nil) }
+
+// UnmarshalBinary implements codec.Unmarshaler.
+func (b *Beat) UnmarshalBinary(data []byte) error {
+	var err error
+	if b.Entity, data, err = codec.ReadString(data); err != nil {
+		return err
+	}
+	if b.At, data, err = codec.ReadVarint(data); err != nil {
+		return err
+	}
+	b.Seq, _, err = codec.ReadUvarint(data)
+	return err
+}
+
+// CopyValue implements codec.Copier.
+func (b Beat) CopyValue() interface{} { return b }
+
+// BeatAck acknowledges a Beat with the entity's running total.
+type BeatAck struct {
+	Seq   uint64
+	Beats uint64
+}
+
+// AppendBinary implements codec.Marshaler.
+func (a BeatAck) AppendBinary(dst []byte) ([]byte, error) {
+	dst = codec.AppendUvarint(dst, a.Seq)
+	return codec.AppendUvarint(dst, a.Beats), nil
+}
+
+// MarshalBinary keeps gob symmetric with UnmarshalBinary: gob treats any
+// BinaryUnmarshaler as binary-encoded, so the encode side must match.
+func (a BeatAck) MarshalBinary() ([]byte, error) { return a.AppendBinary(nil) }
+
+// UnmarshalBinary implements codec.Unmarshaler.
+func (a *BeatAck) UnmarshalBinary(data []byte) error {
+	var err error
+	if a.Seq, data, err = codec.ReadUvarint(data); err != nil {
+		return err
+	}
+	a.Beats, _, err = codec.ReadUvarint(data)
+	return err
+}
+
+// CopyValue implements codec.Copier.
+func (a BeatAck) CopyValue() interface{} { return a }
+
+// CounterAdd increments a counter actor.
+type CounterAdd struct{ Delta int64 }
+
+// AppendBinary implements codec.Marshaler.
+func (c CounterAdd) AppendBinary(dst []byte) ([]byte, error) {
+	return codec.AppendVarint(dst, c.Delta), nil
+}
+
+// MarshalBinary keeps gob symmetric with UnmarshalBinary: gob treats any
+// BinaryUnmarshaler as binary-encoded, so the encode side must match.
+func (c CounterAdd) MarshalBinary() ([]byte, error) { return c.AppendBinary(nil) }
+
+// UnmarshalBinary implements codec.Unmarshaler.
+func (c *CounterAdd) UnmarshalBinary(data []byte) error {
+	var err error
+	c.Delta, _, err = codec.ReadVarint(data)
+	return err
+}
+
+// CopyValue implements codec.Copier.
+func (c CounterAdd) CopyValue() interface{} { return c }
+
+// CounterValue is a counter actor's reply.
+type CounterValue struct{ N int64 }
+
+// AppendBinary implements codec.Marshaler.
+func (c CounterValue) AppendBinary(dst []byte) ([]byte, error) {
+	return codec.AppendVarint(dst, c.N), nil
+}
+
+// MarshalBinary keeps gob symmetric with UnmarshalBinary: gob treats any
+// BinaryUnmarshaler as binary-encoded, so the encode side must match.
+func (c CounterValue) MarshalBinary() ([]byte, error) { return c.AppendBinary(nil) }
+
+// UnmarshalBinary implements codec.Unmarshaler.
+func (c *CounterValue) UnmarshalBinary(data []byte) error {
+	var err error
+	c.N, _, err = codec.ReadVarint(data)
+	return err
+}
+
+// CopyValue implements codec.Copier.
+func (c CounterValue) CopyValue() interface{} { return c }

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"actop/internal/codec"
+)
+
+// Shadow types with identical fields but no methods: gob encodes them by
+// pure reflection — the codec's universal fallback — giving an independent
+// reference encoding to compare the hand-rolled fast path against.
+type (
+	plainPresenceQuery struct {
+		Player         string
+		IncludeMembers bool
+	}
+	plainPresenceStatus struct {
+		Player  string
+		Game    string
+		InGame  bool
+		Members []string
+	}
+	plainBeat struct {
+		Entity string
+		At     int64
+		Seq    uint64
+	}
+	plainBeatAck    struct{ Seq, Beats uint64 }
+	plainCounterAdd struct{ Delta int64 }
+	plainCounterVal struct{ N int64 }
+)
+
+// gobRoundTrip pushes v through raw reflection-gob and returns what a
+// gob-only peer would decode. ptr must be a pointer to v's type.
+func gobRoundTrip(t *testing.T, v, ptr interface{}) interface{} {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatalf("gob encode %T: %v", v, err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(ptr); err != nil {
+		t.Fatalf("gob decode %T: %v", v, err)
+	}
+	return reflect.ValueOf(ptr).Elem().Interface()
+}
+
+// fastRoundTrip pushes v through the codec (which picks the AppendBinary
+// fast path for these types) and decodes into ptr.
+func fastRoundTrip(t *testing.T, v, ptr interface{}) interface{} {
+	t.Helper()
+	data, err := codec.Marshal(v)
+	if err != nil {
+		t.Fatalf("codec marshal %T: %v", v, err)
+	}
+	if err := codec.Unmarshal(data, ptr); err != nil {
+		t.Fatalf("codec unmarshal %T: %v", v, err)
+	}
+	return reflect.ValueOf(ptr).Elem().Interface()
+}
+
+// TestFastPathMatchesGobProperty property-checks, for every workload
+// message type, that (a) the AppendBinary/UnmarshalBinary round trip
+// decodes to exactly what the gob fallback round trip decodes to, and (b)
+// CopyValue returns the same value a gob deep copy would.
+func TestFastPathMatchesGobProperty(t *testing.T) {
+	check := func(name string, f interface{}) {
+		t.Run(name, func(t *testing.T) {
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	check("PresenceQuery", func(player string, include bool) bool {
+		v := PresenceQuery{Player: player, IncludeMembers: include}
+		fast := fastRoundTrip(t, v, new(PresenceQuery))
+		slow := PresenceQuery(gobRoundTrip(t, plainPresenceQuery(v), new(plainPresenceQuery)).(plainPresenceQuery))
+		return reflect.DeepEqual(fast, slow) &&
+			reflect.DeepEqual(v.CopyValue(), slow)
+	})
+
+	check("PresenceStatus", func(player, game string, inGame bool, members []string) bool {
+		v := PresenceStatus{Player: player, Game: game, InGame: inGame, Members: members}
+		fast := fastRoundTrip(t, v, new(PresenceStatus))
+		slow := PresenceStatus(gobRoundTrip(t, plainPresenceStatus(v), new(plainPresenceStatus)).(plainPresenceStatus))
+		return reflect.DeepEqual(fast, slow) &&
+			reflect.DeepEqual(v.CopyValue(), slow)
+	})
+
+	check("Beat", func(entity string, at int64, seq uint64) bool {
+		v := Beat{Entity: entity, At: at, Seq: seq}
+		fast := fastRoundTrip(t, v, new(Beat))
+		slow := Beat(gobRoundTrip(t, plainBeat(v), new(plainBeat)).(plainBeat))
+		return reflect.DeepEqual(fast, slow) &&
+			reflect.DeepEqual(v.CopyValue(), slow)
+	})
+
+	check("BeatAck", func(seq, beats uint64) bool {
+		v := BeatAck{Seq: seq, Beats: beats}
+		fast := fastRoundTrip(t, v, new(BeatAck))
+		slow := BeatAck(gobRoundTrip(t, plainBeatAck(v), new(plainBeatAck)).(plainBeatAck))
+		return reflect.DeepEqual(fast, slow) &&
+			reflect.DeepEqual(v.CopyValue(), slow)
+	})
+
+	check("CounterAdd", func(delta int64) bool {
+		v := CounterAdd{Delta: delta}
+		fast := fastRoundTrip(t, v, new(CounterAdd))
+		slow := CounterAdd(gobRoundTrip(t, plainCounterAdd(v), new(plainCounterAdd)).(plainCounterAdd))
+		return reflect.DeepEqual(fast, slow) &&
+			reflect.DeepEqual(v.CopyValue(), slow)
+	})
+
+	check("CounterValue", func(n int64) bool {
+		v := CounterValue{N: n}
+		fast := fastRoundTrip(t, v, new(CounterValue))
+		slow := CounterValue(gobRoundTrip(t, plainCounterVal(v), new(plainCounterVal)).(plainCounterVal))
+		return reflect.DeepEqual(fast, slow) &&
+			reflect.DeepEqual(v.CopyValue(), slow)
+	})
+}
+
+// TestCopyValueIsolation verifies the fast copy shares no mutable state.
+func TestCopyValueIsolation(t *testing.T) {
+	orig := PresenceStatus{Player: "p1", Members: []string{"a", "b"}}
+	cp := orig.CopyValue().(PresenceStatus)
+	cp.Members[0] = "MUTATED"
+	if orig.Members[0] != "a" {
+		t.Fatalf("CopyValue aliased Members: %+v", orig)
+	}
+}
+
+// TestFastPathDecodableByGobFallbackPeer checks the tag dispatch: a
+// payload produced by a fast-path type decodes through codec.Unmarshal on
+// the other side regardless of which concrete decode path runs.
+func TestFastPathDecodableByCodec(t *testing.T) {
+	in := PresenceStatus{Player: "p9", Game: "g3", InGame: true, Members: []string{"x", "y", "z"}}
+	data, err := codec.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out PresenceStatus
+	if err := codec.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+	}
+}
