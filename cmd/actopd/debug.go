@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/pprof"
+
+	"actop/internal/actor"
+	"actop/internal/core"
+)
+
+// debugPayload is the /debug/actop JSON document: node identity and
+// counters, the partitioner's progress, and the thread controller's full
+// state (live stage measurements, solver inputs/outputs, the installed
+// allocation).
+type debugPayload struct {
+	Node  string   `json:"node"`
+	Peers []string `json:"peers"`
+
+	Activations   int    `json:"activations"`
+	CallsLocal    uint64 `json:"calls_local"`
+	CallsRemote   uint64 `json:"calls_remote"`
+	MigrationsIn  uint64 `json:"migrations_in"`
+	MigrationsOut uint64 `json:"migrations_out"`
+	Redirects     uint64 `json:"redirects"`
+	Edges         int    `json:"monitored_edges"`
+
+	ActOpEnabled   bool  `json:"actop_enabled"`
+	ExchangeRounds int   `json:"exchange_rounds"`
+	ActorsMoved    int   `json:"actors_moved"`
+	Retunes        int   `json:"retunes"`
+	StageWorkers   []int `json:"stage_workers"` // live recv/work/send pools
+	StageQueueLens []int `json:"stage_queue_lens"`
+
+	Threads *core.Status `json:"thread_controller,omitempty"`
+}
+
+// newDebugMux serves /debug/actop (controller + node introspection) and the
+// standard pprof endpoints under /debug/pprof/.
+func newDebugMux(sys *actor.System, opt *core.Optimizer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/actop", func(w http.ResponseWriter, r *http.Request) {
+		st := sys.Stats()
+		p := debugPayload{
+			Node:          string(sys.Node()),
+			Activations:   st.Activations,
+			CallsLocal:    st.CallsLocal,
+			CallsRemote:   st.CallsRemote,
+			MigrationsIn:  st.MigrationsIn,
+			MigrationsOut: st.MigrationsOut,
+			Redirects:     st.Redirects,
+			Edges:         st.MonitoredEdges,
+		}
+		for _, peer := range sys.Peers() {
+			p.Peers = append(p.Peers, string(peer))
+		}
+		recv, work, send := sys.Stages()
+		p.StageWorkers = []int{recv.Workers(), work.Workers(), send.Workers()}
+		p.StageQueueLens = []int{recv.QueueLen(), work.QueueLen(), send.QueueLen()}
+		if opt != nil {
+			p.ActOpEnabled = true
+			p.ExchangeRounds, p.ActorsMoved, p.Retunes = opt.Counters()
+			ts := opt.ThreadStatus()
+			p.Threads = &ts
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveDebug starts the debug server on addr (non-blocking); failures are
+// logged, not fatal — the node serves traffic regardless.
+func serveDebug(addr string, sys *actor.System, opt *core.Optimizer) {
+	go func() {
+		if err := http.ListenAndServe(addr, newDebugMux(sys, opt)); err != nil {
+			log.Printf("debug server on %s: %v", addr, err)
+		}
+	}()
+	log.Printf("debug endpoints on http://%s/debug/actop (pprof under /debug/pprof/)", addr)
+}

@@ -61,6 +61,9 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:7001", "listen address (also the node id)")
 		peersStr = flag.String("peers", "", "comma-separated peer addresses (must include this node)")
 		noActOp  = flag.Bool("no-actop", false, "disable the ActOp optimizer")
+		noTune   = flag.Bool("no-thread-control", false, "keep partitioning but disable the live thread controller")
+		tuneIvl  = flag.Duration("thread-interval", 0, "thread controller period (0 = optimizer default)")
+		debug    = flag.String("debug", "", "serve /debug/actop + pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 		stats    = flag.Duration("stats", 10*time.Second, "stats logging period")
 		call     = flag.String("call", "", "one-shot: call type/key instead of serving")
 		method   = flag.String("method", "Get", "one-shot method")
@@ -87,7 +90,11 @@ func main() {
 			uniq = append(uniq, p)
 		}
 	}
-	sys, err := actor.NewSystem(actor.Config{Transport: tr, Peers: uniq, Seed: time.Now().UnixNano()})
+	sys, err := actor.NewSystem(actor.Config{
+		Transport: tr, Peers: uniq, Seed: time.Now().UnixNano(),
+		DisableThreadControl:  *noTune,
+		ThreadControlInterval: *tuneIvl,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -116,10 +123,14 @@ func main() {
 		return
 	}
 
+	var opt *core.Optimizer
 	if !*noActOp {
-		opt := core.NewOptimizer(sys, core.DefaultOptions())
+		opt = core.NewOptimizer(sys, core.DefaultOptions())
 		opt.Start()
 		defer opt.Stop()
+	}
+	if *debug != "" {
+		serveDebug(*debug, sys, opt)
 	}
 	log.Printf("actopd serving on %s with %d peers (actop=%v)", tr.Node(), len(uniq), !*noActOp)
 

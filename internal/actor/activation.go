@@ -28,6 +28,10 @@ type invocation struct {
 type activation struct {
 	ref   Ref
 	actor Actor
+	// installID, when non-empty, names the migration transfer that created
+	// this activation; ID-matched drops (failed-transfer cleanup) may only
+	// remove the install they were issued against.
+	installID string
 
 	// turnMu is held for the duration of each Receive; Migrate acquires it
 	// to guarantee no turn is in flight while the state is snapshotted.

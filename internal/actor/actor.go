@@ -116,6 +116,15 @@ type Config struct {
 	// last exchange are rejected (default one minute, as in the paper).
 	ExchangeRejectWindow time.Duration
 
+	// DisableThreadControl turns off the live thread-allocation control
+	// loop (§5) that core.NewOptimizer attaches to this node's stages; the
+	// initial Workers/ReceiverWorkers/SenderWorkers split then stays fixed.
+	DisableThreadControl bool
+	// ThreadControlInterval is the controller's measure→solve→resize
+	// period (default 10s, the paper's cadence). It overrides the
+	// optimizer's ThreadPeriod when set.
+	ThreadControlInterval time.Duration
+
 	// Seed drives placement randomness.
 	Seed int64
 }

@@ -1,0 +1,251 @@
+package actor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"actop/internal/codec"
+	"actop/internal/partition"
+	"actop/internal/transport"
+)
+
+// chaosActor is a migratable counter whose "Poke" method calls another actor
+// (its hub), generating the actor→actor edges the communication monitor
+// needs before ExchangeRound will propose any moves.
+type chaosActor struct{ N int }
+
+func (c *chaosActor) Receive(ctx *Context, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "Add":
+		var d int
+		if err := codec.Unmarshal(args, &d); err != nil {
+			return nil, err
+		}
+		c.N += d
+		return codec.Marshal(c.N)
+	case "Get":
+		return codec.Marshal(c.N)
+	case "Poke":
+		var hub string
+		if err := codec.Unmarshal(args, &hub); err != nil {
+			return nil, err
+		}
+		return nil, ctx.Call(Ref{Type: "chaos", Key: hub}, "Add", 1, nil)
+	}
+	return nil, fmt.Errorf("no method %q", method)
+}
+
+func (c *chaosActor) Snapshot() ([]byte, error) { return codec.Marshal(c.N) }
+func (c *chaosActor) Restore(b []byte) error    { return codec.Unmarshal(b, &c.N) }
+
+// chaosCluster builds a 3-node cluster where EVERY node's outbound traffic
+// runs through its own fault injector.
+func chaosCluster(t *testing.T) ([]*System, []*transport.Flaky) {
+	t.Helper()
+	const n = 3
+	net := transport.NewNetwork(0)
+	peers := make([]transport.NodeID, n)
+	for i := range peers {
+		peers[i] = transport.NodeID(fmt.Sprintf("chaos-%d", i))
+	}
+	systems := make([]*System, n)
+	flakies := make([]*transport.Flaky, n)
+	for i := range peers {
+		flakies[i] = transport.NewFlaky(net.Join(peers[i]), int64(1000+i))
+		sys, err := NewSystem(Config{
+			Transport: flakies[i], Peers: peers, Seed: int64(7 + i),
+			CallTimeout:          250 * time.Millisecond,
+			ExchangeRejectWindow: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RegisterType("chaos", func() Actor { return &chaosActor{} })
+		systems[i] = sys
+		t.Cleanup(sys.Stop)
+	}
+	return systems, flakies
+}
+
+// TestExchangeRoundSurvivesChaos drives Algorithm 1 exchange rounds over a
+// lossy, delaying network. Rounds are allowed to fail — but they must fail
+// cleanly: no panic, no deadlock, no directory corruption (an actor answered
+// by two nodes with diverging state), no stuck actor (a ref nobody answers
+// for). Once the faults lift, the cluster must converge: every actor answers
+// consistently from every node, is hosted exactly once, and a fresh exchange
+// round completes without error.
+func TestExchangeRoundSurvivesChaos(t *testing.T) {
+	sys, flakies := chaosCluster(t)
+	const (
+		hubs        = 3
+		spokes      = 12
+		baselineAdd = 3
+	)
+	hubKey := func(i int) string { return fmt.Sprintf("hub-%d", i%hubs) }
+	refs := make([]Ref, 0, hubs+spokes)
+	for i := 0; i < hubs; i++ {
+		refs = append(refs, Ref{Type: "chaos", Key: hubKey(i)})
+	}
+	for i := 0; i < spokes; i++ {
+		refs = append(refs, Ref{Type: "chaos", Key: fmt.Sprintf("spoke-%d", i)})
+	}
+
+	// Healthy phase: seed known state and build monitor edges (each spoke
+	// pokes one hub, so SelectCandidates has a graph to cut).
+	for i, ref := range refs {
+		if err := sys[i%len(sys)].Call(ref, "Add", baselineAdd, nil); err != nil {
+			t.Fatalf("baseline Add %s: %v", ref, err)
+		}
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < spokes; i++ {
+			ref := Ref{Type: "chaos", Key: fmt.Sprintf("spoke-%d", i)}
+			if err := sys[i%len(sys)].Call(ref, "Poke", hubKey(i), nil); err != nil {
+				t.Fatalf("baseline Poke %s: %v", ref, err)
+			}
+		}
+	}
+
+	// Chaos phase: every link drops ~30% of messages and delays half the
+	// rest. Exchange rounds and traffic run concurrently from all nodes;
+	// errors are expected, crashes and hangs are not.
+	for _, fl := range flakies {
+		fl.SetDrop(0.3)
+		fl.SetDelay(0.5, 2*time.Millisecond)
+	}
+	opts := partition.DefaultOptions()
+	opts.CandidateSetSize = 4
+	opts.ImbalanceTolerance = 2
+
+	var wg sync.WaitGroup
+	var roundErrs, roundOK, moved int64
+	var statsMu sync.Mutex
+	for i := range sys {
+		wg.Add(1)
+		go func(s *System) {
+			defer wg.Done()
+			for r := 0; r < 4; r++ {
+				n, err := s.ExchangeRound(opts, 10*time.Millisecond)
+				statsMu.Lock()
+				if err != nil {
+					roundErrs++
+				} else {
+					roundOK++
+					moved += int64(n)
+				}
+				statsMu.Unlock()
+				time.Sleep(15 * time.Millisecond)
+			}
+		}(sys[i])
+	}
+	for i := 0; i < spokes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ref := Ref{Type: "chaos", Key: fmt.Sprintf("spoke-%d", i)}
+			for r := 0; r < 6; r++ {
+				// Failures are the point of this phase; only crashes count.
+				_ = sys[(i+r)%len(sys)].Call(ref, "Poke", hubKey(i), nil)
+			}
+		}(i)
+	}
+	// Forced migrations under faults: transfers and directory updates will
+	// be dropped mid-flight, exercising the orphan-drop and dir-retry paths.
+	var migrateOK, migrateErr int64
+	for i := range sys {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := sys[i]
+			for r := 0; r < 6; r++ {
+				if locals := s.LocalRefs(); len(locals) > 0 {
+					err := s.Migrate(locals[r%len(locals)], sys[(i+1+r%2)%len(sys)].Node())
+					statsMu.Lock()
+					if err != nil {
+						migrateErr++
+					} else {
+						migrateOK++
+					}
+					statsMu.Unlock()
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var dropped uint64
+	for _, fl := range flakies {
+		dropped += fl.Dropped()
+	}
+	if dropped == 0 {
+		t.Fatal("chaos phase dropped nothing — injectors inert")
+	}
+	t.Logf("chaos: %d rounds ok (%d moved), %d rounds failed; %d migrations ok, %d failed; %d messages dropped",
+		roundOK, moved, roundErrs, migrateOK, migrateErr, dropped)
+	if migrateOK+migrateErr == 0 {
+		t.Fatal("no migration was even attempted under chaos")
+	}
+
+	// Recovery phase: lift the faults and wait for convergence. Background
+	// orphan drops and directory-update retries need a settle window, so
+	// poll rather than asserting immediately.
+	for _, fl := range flakies {
+		fl.SetDrop(0)
+		fl.SetDelay(0, 0)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		lastProblem := ""
+		for _, ref := range refs {
+			vals := make([]int, len(sys))
+			for i, s := range sys {
+				if err := s.Call(ref, "Get", nil, &vals[i]); err != nil {
+					lastProblem = fmt.Sprintf("%s unreachable from %s: %v", ref, s.Node(), err)
+				}
+			}
+			if lastProblem != "" {
+				break
+			}
+			for i := 1; i < len(vals); i++ {
+				if vals[i] != vals[0] {
+					lastProblem = fmt.Sprintf("%s diverged across nodes: %v (split brain)", ref, vals)
+				}
+			}
+			if lastProblem != "" {
+				break
+			}
+			if vals[0] < baselineAdd {
+				lastProblem = fmt.Sprintf("%s lost committed state: %d < %d", ref, vals[0], baselineAdd)
+				break
+			}
+			hosts := 0
+			for _, s := range sys {
+				if s.HostsActor(ref) {
+					hosts++
+				}
+			}
+			if hosts != 1 {
+				lastProblem = fmt.Sprintf("%s hosted on %d nodes", ref, hosts)
+				break
+			}
+		}
+		if lastProblem == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster did not converge after faults lifted: %s", lastProblem)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// And the partitioning plane itself recovers: a fresh round from each
+	// node completes without error (moving actors is fine, failing is not).
+	for _, s := range sys {
+		if _, err := s.ExchangeRound(opts, 10*time.Millisecond); err != nil {
+			t.Fatalf("exchange round after recovery from %s: %v", s.Node(), err)
+		}
+	}
+}

@@ -11,16 +11,35 @@ import (
 	"actop/internal/transport"
 )
 
-// migratePayload is the wire form of a live-migration state transfer.
+// migratePayload is the wire form of a live-migration state transfer. ID
+// uniquely names one transfer attempt (initiator node + sequence), so that
+// a later cleanup ("drop") can never remove an activation installed by a
+// different, successful migration.
 type migratePayload struct {
 	Type, Key string
+	ID        string
 	HasState  bool
 	State     []byte
+}
+
+// migrationID names one transfer attempt uniquely across the cluster.
+func (s *System) migrationID() string {
+	return fmt.Sprintf("%s#%d", s.Node(), s.nextID.Add(1))
 }
 
 // Migrate moves a locally hosted actor to another node, transparently to
 // callers (§4.3): the state transfers, the directory updates, stragglers
 // chase redirects, and queued invocations are re-routed.
+//
+// Failure semantics under an unreliable network: the transfer is the
+// commit point. If the transfer call fails (which includes "the peer
+// installed the copy but the ack was lost"), the local activation stays
+// authoritative, the directory is untouched, and a best-effort ID-matched
+// drop retires any orphan copy on the peer — so callers keep getting
+// correct answers from this node throughout. If the transfer succeeds, the
+// migration completes locally even when the directory update is lost: this
+// node's location cache redirects stragglers to the new home, and the
+// directory update retries in the background until the owner applies it.
 func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 	if to == s.Node() {
 		return nil
@@ -36,7 +55,37 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 	act.turnMu.Lock()
 	defer act.turnMu.Unlock()
 
-	payload := migratePayload{Type: ref.Type, Key: ref.Key}
+	// Re-check under the turn lock: a concurrent Migrate (an exchange
+	// counter-move racing a directly requested move) may have retired this
+	// activation while we waited. Shipping the stale copy would install the
+	// actor on two nodes at once.
+	s.mu.RLock()
+	current := s.activations[ref]
+	s.mu.RUnlock()
+	if current != act {
+		return fmt.Errorf("actor: %s no longer active on %s", ref, s.Node())
+	}
+
+	// Authority check for migrated-in actors: only the directory-confirmed
+	// home may move one onward. Without this, a copy installed by a transfer
+	// whose ack was lost (an orphan awaiting ID-matched cleanup) could
+	// launder itself to a third node the cleanup will never visit. The local
+	// cache cannot be trusted here — installing the copy is exactly what
+	// seeded it — so ask the directory owner directly; refusing on error is
+	// always safe (migration is an optimization, not an obligation).
+	if act.installID != "" {
+		var home string
+		if err := s.controlCall(s.directoryOwner(ref), ctlDirLookup,
+			dirRequest{Type: ref.Type, Key: ref.Key}, &home); err != nil {
+			return fmt.Errorf("actor: cannot confirm home of %s: %w", ref, err)
+		}
+		if transport.NodeID(home) != s.Node() {
+			return fmt.Errorf("actor: %s is not the confirmed home of %s (directory says %s)",
+				s.Node(), ref, home)
+		}
+	}
+
+	payload := migratePayload{Type: ref.Type, Key: ref.Key, ID: s.migrationID()}
 	if m, ok := act.actor.(Migratable); ok {
 		state, err := m.Snapshot()
 		if err != nil {
@@ -46,14 +95,17 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 		payload.State = state
 	}
 	if err := s.controlCall(to, ctlMigratePut, payload, nil); err != nil {
+		// The put may have landed with only the ack lost: retire any copy
+		// it installed (matched by ID, so a different migration's install
+		// is never harmed). Until that lands, the directory still points
+		// here and remote callers stay correct; the drop closes the one
+		// split-brain window — calls originated on the peer itself.
+		s.dropOrphan(to, ref, payload.ID)
 		return fmt.Errorf("actor: transfer %s to %s: %w", ref, to, err)
 	}
-	// Point the directory and our cache at the new home.
-	if err := s.controlCall(s.directoryOwner(ref), ctlDirUpdate, dirRequest{
-		Type: ref.Type, Key: ref.Key, NewNode: string(to),
-	}, nil); err != nil {
-		return fmt.Errorf("actor: directory update for %s: %w", ref, err)
-	}
+	// The transfer is committed: from here the peer's copy is the actor.
+	// Point our cache at it before retiring, so re-routed invocations and
+	// straggler redirects chase the new home immediately.
 	s.cachePut(ref, to)
 
 	// Retire the local activation; queued invocations re-route.
@@ -76,10 +128,66 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 	s.monMu.Unlock()
 
 	s.migrationsOut.Add(1)
+
+	// Point the directory at the new home. A lost update is not fatal —
+	// this node's cache redirect keeps routing correct meanwhile — but the
+	// directory is what survives this node's cache eviction, so retry
+	// until the owner confirms.
+	update := dirRequest{Type: ref.Type, Key: ref.Key, NewNode: string(to)}
+	if err := s.controlCall(s.directoryOwner(ref), ctlDirUpdate, update, nil); err != nil {
+		go s.retryDirUpdate(ref, update)
+	}
 	return nil
 }
 
-// handleMigratePut installs an inbound migrated actor.
+// retryDirUpdate re-sends a lost directory update a few times with backoff
+// (best effort; gives up once the system stops or attempts run out).
+func (s *System) retryDirUpdate(ref Ref, update dirRequest) {
+	for attempt := 0; attempt < 5; attempt++ {
+		time.Sleep(time.Duration(attempt+1) * 200 * time.Millisecond)
+		s.mu.RLock()
+		stopped := s.stopped
+		s.mu.RUnlock()
+		if stopped {
+			return
+		}
+		if s.controlCall(s.directoryOwner(ref), ctlDirUpdate, update, nil) == nil {
+			return
+		}
+	}
+}
+
+// dropOrphan asks node to remove an activation installed by migration id,
+// retrying in the background with capped backoff until the drop is
+// acknowledged or this node stops. The same network faults that failed the
+// transfer can swallow any bounded number of drops, so cleanup keeps
+// trying; the ID match makes arbitrarily late or duplicated drops safe.
+func (s *System) dropOrphan(node transport.NodeID, ref Ref, id string) {
+	go func() {
+		backoff := 100 * time.Millisecond
+		for attempt := 0; attempt < 50; attempt++ {
+			s.mu.RLock()
+			stopped := s.stopped
+			s.mu.RUnlock()
+			if stopped {
+				return
+			}
+			if s.controlCall(node, ctlMigrateDrop, migratePayload{
+				Type: ref.Type, Key: ref.Key, ID: id,
+			}, nil) == nil {
+				return
+			}
+			time.Sleep(backoff)
+			if backoff < 500*time.Millisecond {
+				backoff += 100 * time.Millisecond
+			}
+		}
+	}()
+}
+
+// handleMigratePut installs an inbound migrated actor. A duplicate put for
+// the same migration ID (a retried transfer whose first attempt landed) is
+// acknowledged idempotently.
 func (s *System) handleMigratePut(payload []byte) ([]byte, error) {
 	var p migratePayload
 	if err := codec.Unmarshal(payload, &p); err != nil {
@@ -92,8 +200,12 @@ func (s *System) handleMigratePut(payload []byte) ([]byte, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrUnknownType, ref.Type)
 	}
-	if _, exists := s.activations[ref]; exists {
+	if existing, exists := s.activations[ref]; exists {
+		installID := existing.installID
 		s.mu.Unlock()
+		if installID != "" && installID == p.ID {
+			return codec.Marshal(ctlPlacementOK) // duplicate of our own install
+		}
 		return nil, fmt.Errorf("actor: %s already active on %s", ref, s.Node())
 	}
 	inst := factory()
@@ -108,12 +220,47 @@ func (s *System) handleMigratePut(payload []byte) ([]byte, error) {
 			return nil, fmt.Errorf("actor: restore %s: %w", ref, err)
 		}
 	}
-	s.activations[ref] = &activation{ref: ref, actor: inst}
+	s.activations[ref] = &activation{ref: ref, actor: inst, installID: p.ID}
 	s.locCache[ref] = s.Node()
 	s.vertexRefs[uint64(ref.Vertex())] = ref
 	s.mu.Unlock()
 	s.migrationsIn.Add(1)
 	return codec.Marshal(ctlPlacementOK)
+}
+
+// handleMigrateDrop retires an activation installed by a failed migration
+// attempt: the initiator never observed the ack, kept authority at the old
+// home, and is now disposing of the orphan copy. The ID match guarantees a
+// drop — however delayed or duplicated by the network — can only remove
+// the exact install it was issued against. The location-cache entry the
+// install created is cleared too, so this node re-resolves the actor
+// through the directory (which still points at the authoritative home).
+func (s *System) handleMigrateDrop(payload []byte) ([]byte, error) {
+	var p migratePayload
+	if err := codec.Unmarshal(payload, &p); err != nil {
+		return nil, err
+	}
+	ref := Ref{Type: p.Type, Key: p.Key}
+	s.mu.Lock()
+	act, exists := s.activations[ref]
+	if exists && act.installID != "" && act.installID == p.ID {
+		delete(s.activations, ref)
+		delete(s.locCache, ref)
+		s.mu.Unlock()
+		// Straggler invocations queued on the orphan re-route through the
+		// directory back to the authoritative home.
+		act.mu.Lock()
+		act.forwarded = true
+		pending := act.queue
+		act.queue = nil
+		act.mu.Unlock()
+		for _, inv := range pending {
+			s.forwardInvocation(ref, inv)
+		}
+		return codec.Marshal(ctlPlacementOK)
+	}
+	s.mu.Unlock()
+	return codec.Marshal(ctlPlacementOK) // nothing to drop: already gone or not ours
 }
 
 // --- ActOp partition-exchange integration (Algorithm 1 over the wire) ---
@@ -151,8 +298,10 @@ type exchangeReply struct {
 
 var exchangeMu sync.Mutex // serializes exchange decisions per process
 
-// exchangeState tracks Algorithm 1's cooldown.
+// exchangeState tracks Algorithm 1's cooldown. Initiator rounds and inbound
+// handleExchange calls touch it concurrently, so it carries its own lock.
 type exchangeState struct {
+	mu    sync.Mutex
 	last  time.Time
 	begun bool
 }
@@ -162,14 +311,18 @@ var exchangeStates sync.Map // *System → *exchangeState
 func (s *System) exchangeCooling(window time.Duration) bool {
 	v, _ := exchangeStates.LoadOrStore(s, &exchangeState{})
 	st := v.(*exchangeState)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return st.begun && time.Since(st.last) < window
 }
 
 func (s *System) markExchanged() {
 	v, _ := exchangeStates.LoadOrStore(s, &exchangeState{})
 	st := v.(*exchangeState)
+	st.mu.Lock()
 	st.begun = true
 	st.last = time.Now()
+	st.mu.Unlock()
 }
 
 // nodeIndex maps a peer NodeID to its graph.ServerID (index in the sorted

@@ -37,6 +37,7 @@ const (
 	ctlDirUpdate   = "dir.update"
 	ctlDirRemove   = "dir.remove"
 	ctlMigratePut  = "migrate.put"
+	ctlMigrateDrop = "migrate.drop"
 	ctlExchange    = "actop.exchange"
 	ctlPlacementOK = "ok"
 )
@@ -130,6 +131,10 @@ func (s *System) RegisterType(name string, f Factory) {
 func (s *System) Stages() (recv, work, send *seda.Stage) {
 	return s.recvStage, s.workStage, s.sendStage
 }
+
+// Config returns a copy of the node's (filled) configuration, so attached
+// controllers can honor DisableThreadControl / ThreadControlInterval.
+func (s *System) Config() Config { return s.cfg }
 
 // Stop shuts the node down: stages drain, the transport closes.
 func (s *System) Stop() {
@@ -654,6 +659,8 @@ func (s *System) handleControlVerb(verb string, payload []byte, from transport.N
 		return codec.Marshal(ctlPlacementOK)
 	case ctlMigratePut:
 		return s.handleMigratePut(payload)
+	case ctlMigrateDrop:
+		return s.handleMigrateDrop(payload)
 	case ctlExchange:
 		return s.handleExchange(payload, from)
 	default:

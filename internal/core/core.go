@@ -23,7 +23,6 @@ import (
 
 	"actop/internal/actor"
 	"actop/internal/partition"
-	"actop/internal/queuing"
 	"actop/internal/seda"
 )
 
@@ -59,6 +58,14 @@ type Options struct {
 	// MinSamples skips a retune when fewer events were observed (avoids
 	// resizing on noise).
 	MinSamples uint64
+	// Hysteresis is the controller's reallocation dead band (see
+	// ControllerConfig.Hysteresis; default 0.25).
+	Hysteresis float64
+	// SmoothingAlpha is the EWMA factor for the live λ/s estimates
+	// (default 0.5).
+	SmoothingAlpha float64
+	// MaxStageWorkers caps any one stage's pool (0 = uncapped).
+	MaxStageWorkers int
 }
 
 // DefaultOptions enables both mechanisms with the paper's cadences.
@@ -75,6 +82,8 @@ func DefaultOptions() Options {
 		BudgetFactor:    1.6,
 		WorkerBeta:      1.0,
 		MinSamples:      64,
+		Hysteresis:      0.25,
+		SmoothingAlpha:  0.5,
 	}
 }
 
@@ -82,6 +91,7 @@ func DefaultOptions() Options {
 type Optimizer struct {
 	sys  *actor.System
 	opts Options
+	tc   *ThreadController
 
 	mu      sync.Mutex
 	started bool
@@ -92,7 +102,9 @@ type Optimizer struct {
 	exchangeRounds, actorsMoved, retunes int
 }
 
-// NewOptimizer binds an optimizer to a node.
+// NewOptimizer binds an optimizer to a node. The node's actor.Config can
+// pre-wire the thread controller: DisableThreadControl forces ThreadTuning
+// off and ThreadControlInterval (when set) overrides ThreadPeriod.
 func NewOptimizer(sys *actor.System, opts Options) *Optimizer {
 	if opts.Processors <= 0 {
 		opts.Processors = runtime.NumCPU()
@@ -112,7 +124,43 @@ func NewOptimizer(sys *actor.System, opts Options) *Optimizer {
 	if opts.RejectWindow <= 0 {
 		opts.RejectWindow = time.Minute
 	}
-	return &Optimizer{sys: sys, opts: opts, stop: make(chan struct{})}
+	cfg := sys.Config()
+	if cfg.DisableThreadControl {
+		opts.ThreadTuning = false
+	}
+	if cfg.ThreadControlInterval > 0 {
+		opts.ThreadPeriod = cfg.ThreadControlInterval
+	}
+	o := &Optimizer{sys: sys, opts: opts, stop: make(chan struct{})}
+	recv, work, send := sys.Stages()
+	tc, err := NewThreadController(
+		[]*seda.Stage{recv, work, send},
+		ControllerConfig{
+			Interval:   opts.ThreadPeriod,
+			Eta:        opts.Eta,
+			Processors: float64(opts.Processors) * opts.BudgetFactor,
+			Betas:      []float64{1, opts.WorkerBeta, 1},
+			MinSamples: opts.MinSamples,
+			Alpha:      opts.SmoothingAlpha,
+			Hysteresis: opts.Hysteresis,
+			MaxWorkers: opts.MaxStageWorkers,
+		})
+	if err != nil {
+		// Unreachable with the clamped options above; fall back to a
+		// tuning-less optimizer rather than panicking the node.
+		opts.ThreadTuning = false
+	}
+	o.tc = tc
+	return o
+}
+
+// ThreadStatus snapshots the thread controller (solver inputs/outputs,
+// installed allocation, stage measurements) for logs and /debug/actop.
+func (o *Optimizer) ThreadStatus() Status {
+	if o.tc == nil {
+		return Status{}
+	}
+	return o.tc.Status()
 }
 
 // Start launches the control loops.
@@ -191,44 +239,17 @@ func (o *Optimizer) threadLoop() {
 }
 
 // Retune performs one §5 control cycle immediately: snapshot the stages,
-// build the queuing model, solve (∗), install the allocation. Exposed for
-// tests and manual control.
+// fold the window into the smoothed estimates, solve (∗), and install the
+// allocation unless hysteresis holds it. Exposed for tests and manual
+// control; the periodic thread loop calls it every ThreadPeriod.
 func (o *Optimizer) Retune() {
-	recv, work, send := o.sys.Stages()
-	stages := []*seda.Stage{recv, work, send}
-	betas := []float64{1, o.opts.WorkerBeta, 1}
-
-	var model queuing.Model
-	model.Processors = float64(o.opts.Processors) * o.opts.BudgetFactor
-	model.Eta = o.opts.Eta
-	var total uint64
-	period := o.opts.ThreadPeriod.Seconds()
-	for i, st := range stages {
-		snap := st.Snapshot()
-		total += snap.Processed
-		qs := queuing.Stage{Name: snap.Name, Beta: betas[i]}
-		if snap.Processed > 0 && snap.BusyTime > 0 {
-			// Mean wall time per event approximates 1/s (β folds blocking
-			// into the CPU share; see Options.WorkerBeta).
-			mean := snap.BusyTime.Seconds() / float64(snap.Processed)
-			qs.ServiceRate = 1 / mean
-			qs.Lambda = float64(snap.Arrivals) / period
-		} else {
-			qs.ServiceRate = 1000
-		}
-		model.Stages = append(model.Stages, qs)
-	}
-	if total < o.opts.MinSamples {
+	if o.tc == nil {
 		return
 	}
-	sol, err := queuing.Solve(&model)
-	if err != nil {
-		return // keep the current allocation on infeasible epochs
+	switch o.tc.Tick() {
+	case TickApplied, TickHeld:
+		o.mu.Lock()
+		o.retunes++
+		o.mu.Unlock()
 	}
-	for i, st := range stages {
-		st.SetWorkers(sol.Integer[i])
-	}
-	o.mu.Lock()
-	o.retunes++
-	o.mu.Unlock()
 }

@@ -1,0 +1,72 @@
+package estimator
+
+import "time"
+
+// EWMA is an exponentially weighted moving average: each Observe folds a new
+// sample in with weight alpha, so the estimate tracks drifting workloads
+// (the paper's runtime re-estimates its model every control epoch) while
+// damping one-epoch noise. The zero value is unusable; construct with
+// NewEWMA. EWMA is not safe for concurrent use; callers (the thread
+// controller) own their instances.
+type EWMA struct {
+	alpha   float64
+	value   float64
+	defined bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor in (0, 1]:
+// alpha = 1 means "no memory" (the estimate is the last sample), small alpha
+// means long memory. Out-of-range alphas are clamped.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample into the average. The first sample initializes
+// the estimate directly (no bias toward zero).
+func (e *EWMA) Observe(v float64) {
+	if !e.defined {
+		e.value = v
+		e.defined = true
+		return
+	}
+	e.value += e.alpha * (v - e.value)
+}
+
+// Value reports the current estimate (0 before any sample).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Defined reports whether at least one sample has been observed.
+func (e *EWMA) Defined() bool { return e.defined }
+
+// Reset forgets all samples.
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.defined = false
+}
+
+// RateEWMA smooths an event rate measured over variable-length windows:
+// Observe takes a raw count and the window it was collected over, converts
+// to events/sec, and EWMA-folds it. Windows shorter than a millisecond are
+// ignored (a degenerate window would produce a wild rate spike).
+type RateEWMA struct {
+	EWMA
+}
+
+// NewRateEWMA returns a rate smoother with the given alpha.
+func NewRateEWMA(alpha float64) *RateEWMA {
+	return &RateEWMA{EWMA: *NewEWMA(alpha)}
+}
+
+// Observe folds count events over window into the rate estimate.
+func (r *RateEWMA) Observe(count uint64, window time.Duration) {
+	if window < time.Millisecond {
+		return
+	}
+	r.EWMA.Observe(float64(count) / window.Seconds())
+}

@@ -1,0 +1,60 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEWMAFirstSampleInitializes(t *testing.T) {
+	e := NewEWMA(0.1)
+	if e.Defined() {
+		t.Fatal("defined before any sample")
+	}
+	e.Observe(42)
+	if !e.Defined() || e.Value() != 42 {
+		t.Fatalf("first sample should initialize directly: %v", e.Value())
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.3)
+	e.Observe(0)
+	for i := 0; i < 100; i++ {
+		e.Observe(10)
+	}
+	if math.Abs(e.Value()-10) > 1e-9 {
+		t.Fatalf("did not converge to constant input: %v", e.Value())
+	}
+}
+
+func TestEWMASmoothsSpikes(t *testing.T) {
+	e := NewEWMA(0.25)
+	e.Observe(100)
+	e.Observe(200) // one spike moves the estimate only α of the way
+	if want := 125.0; e.Value() != want {
+		t.Fatalf("value = %v, want %v", e.Value(), want)
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(7)
+	e.Reset()
+	if e.Defined() || e.Value() != 0 {
+		t.Fatal("reset did not clear the estimate")
+	}
+}
+
+func TestRateEWMA(t *testing.T) {
+	r := NewRateEWMA(0.5)
+	r.Observe(500, 500*time.Millisecond) // 1000 events/sec
+	if got := r.Value(); math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("rate = %v, want 1000", got)
+	}
+	// Sub-millisecond windows carry no usable rate signal and are ignored.
+	r.Observe(1, 10*time.Microsecond)
+	if got := r.Value(); math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("tiny window should be ignored, rate = %v", got)
+	}
+}

@@ -1,0 +1,187 @@
+package queuing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomModel draws a small random model (≤4 stages) whose continuous
+// optimum stays well inside the 8-threads-per-stage brute-force box: λ/s is
+// kept low enough and η high enough that ceil(t_i) ≤ 8.
+func randomModel(rng *rand.Rand) *Model {
+	n := 1 + rng.Intn(4)
+	m := &Model{
+		Processors: 2 + 6*rng.Float64(),        // p ∈ [2, 8)
+		Eta:        0.002 + 0.05*rng.Float64(), // strong thread penalty
+	}
+	for i := 0; i < n; i++ {
+		s := Stage{
+			Name:        string(rune('a' + i)),
+			ServiceRate: 50 + 150*rng.Float64(),
+			Beta:        0.1 + 0.9*rng.Float64(),
+		}
+		s.Lambda = s.ServiceRate * (0.2 + 2.5*rng.Float64()) // λ/s ∈ [0.2, 2.7)
+		m.Stages = append(m.Stages, s)
+	}
+	return m
+}
+
+// bruteForceBest enumerates every integer allocation with 1..maxT threads
+// per stage and returns the best feasible objective value (+Inf if none).
+func bruteForceBest(m *Model, maxT int) float64 {
+	n := len(m.Stages)
+	alloc := make([]int, n)
+	for i := range alloc {
+		alloc[i] = 1
+	}
+	best := math.Inf(1)
+	asFloat := make([]float64, n)
+	for {
+		for i, v := range alloc {
+			asFloat[i] = float64(v)
+		}
+		if m.CPUUsage(asFloat) <= m.Processors+1e-9 {
+			if obj := m.Latency(asFloat); obj < best {
+				best = obj
+			}
+		}
+		// Odometer increment.
+		i := 0
+		for ; i < n; i++ {
+			alloc[i]++
+			if alloc[i] <= maxT {
+				break
+			}
+			alloc[i] = 1
+		}
+		if i == n {
+			return best
+		}
+	}
+}
+
+// TestSolveMatchesBruteForce is the solver's property test: across many
+// small random configurations, the integer allocation (a) respects the CPU
+// budget, (b) keeps every queue stable, (c) stays inside the continuous
+// optimum's ceiling per stage, and (d) achieves a queuing-delay objective
+// matching brute-force enumeration over the 1..8-threads-per-stage box
+// (within a small slack for the greedy rounding).
+func TestSolveMatchesBruteForce(t *testing.T) {
+	const (
+		trials = 300
+		maxT   = 8
+	)
+	rng := rand.New(rand.NewSource(7))
+	tested, exact := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		m := randomModel(rng)
+		if !m.Feasible() {
+			continue // offered load exceeds the drawn CPU budget; redraw
+		}
+		sol, err := Solve(m)
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v (model %+v)", trial, err, m)
+		}
+		// The box bound must contain the solution, or the brute-force
+		// comparison would be against a clipped space.
+		inBox := true
+		for _, ti := range sol.Integer {
+			if ti > maxT {
+				inBox = false
+			}
+		}
+		if !inBox {
+			continue
+		}
+		tested++
+
+		asFloat := make([]float64, len(sol.Integer))
+		for i, v := range sol.Integer {
+			asFloat[i] = float64(v)
+			if v < 1 {
+				t.Fatalf("trial %d: stage %d got %d threads", trial, i, v)
+			}
+			mu := m.Stages[i].ServiceRate * float64(v)
+			if mu <= m.Stages[i].Lambda {
+				t.Fatalf("trial %d: stage %d unstable: µ=%.2f ≤ λ=%.2f", trial, i, mu, m.Stages[i].Lambda)
+			}
+			if ceil := int(math.Ceil(sol.Threads[i])); v > ceil && v > 1 {
+				t.Fatalf("trial %d: stage %d integer %d exceeds ceil(continuous)=%d", trial, i, v, ceil)
+			}
+		}
+		// Budget: never above p, except in the integrally-tight corner where
+		// even the minimal stable integer allocation exceeds it — there the
+		// solver must return exactly that stability floor and nothing more.
+		minStable := make([]float64, len(m.Stages))
+		var minCPU float64
+		for i, s := range m.Stages {
+			minStable[i] = math.Floor(s.Lambda/s.ServiceRate) + 1
+			minCPU += minStable[i] * s.Beta
+		}
+		if use := m.CPUUsage(asFloat); use > m.Processors*(1+1e-6) {
+			if minCPU <= m.Processors {
+				t.Fatalf("trial %d: allocation exceeds CPU budget: %.4f > %.4f", trial, use, m.Processors)
+			}
+			for i := range asFloat {
+				if asFloat[i] != minStable[i] {
+					t.Fatalf("trial %d: over budget yet beyond the stability floor: %v vs %v", trial, sol.Integer, minStable)
+				}
+			}
+			continue // integrally infeasible: no brute-force point to compare
+		}
+
+		got := m.Latency(asFloat)
+		want := bruteForceBest(m, maxT)
+		if math.IsInf(want, 1) {
+			t.Fatalf("trial %d: brute force found no feasible allocation but Solve did", trial)
+		}
+		if got < want-1e-9 {
+			t.Fatalf("trial %d: solver beat the brute-force optimum (%.6f < %.6f) — enumeration bug", trial, got, want)
+		}
+		// Greedy integer rounding of the convex optimum: demand near-exact
+		// agreement with exhaustive search.
+		if got > want*1.02+1e-9 {
+			t.Fatalf("trial %d: objective %.6f vs brute-force %.6f (>2%% off)\nmodel: %+v\nalloc: %v",
+				trial, got, want, m, sol.Integer)
+		}
+		if got <= want*(1+1e-9) {
+			exact++
+		}
+	}
+	if tested < trials/2 {
+		t.Fatalf("only %d/%d trials landed in the brute-force box; generator drifted", tested, trials)
+	}
+	t.Logf("property: %d tested, %d exactly optimal, rest within 2%%", tested, exact)
+}
+
+// TestClosedFormRespectsBudgetWhenPremiseHolds checks Theorem 2's claim on
+// random inputs: whenever η ≥ ζ, the closed-form allocation satisfies the
+// CPU constraint it ignores.
+func TestClosedFormRespectsBudgetWhenPremiseHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	checked := 0
+	for trial := 0; trial < 500; trial++ {
+		m := randomModel(rng)
+		if !m.Feasible() {
+			continue
+		}
+		zeta, err := m.Zeta()
+		if err != nil || m.Eta < zeta {
+			continue
+		}
+		tcont, err := ClosedForm(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if use := m.CPUUsage(tcont); use > m.Processors*(1+1e-9) {
+			t.Fatalf("trial %d: closed form busts budget with η=%.4f ≥ ζ=%.4f: %.4f > %.4f",
+				trial, m.Eta, zeta, use, m.Processors)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no trial satisfied the closed-form premise")
+	}
+	t.Logf("closed-form premise held on %d trials", checked)
+}

@@ -189,6 +189,13 @@ func project(m *Model, lb, t []float64) {
 // every stage gets at least one thread and at least enough to keep its
 // queue stable; remaining threads are assigned greedily to whichever stage
 // most reduces the (∗) objective, while the CPU constraint admits.
+//
+// Stability outranks the budget: when the budget is integrally tight (the
+// minimal stable integer allocation Σ(⌊λ_i/s_i⌋+1)·β_i already exceeds p,
+// even though the continuous problem is feasible), the minimal stable
+// allocation is returned as-is — a server slightly over CPU budget beats
+// an unboundedly growing queue, and the runtime's BudgetFactor slack
+// absorbs the overage. Greedy additions beyond that floor never exceed p.
 func IntegerAllocation(m *Model, t []float64) []int {
 	n := len(m.Stages)
 	alloc := make([]int, n)

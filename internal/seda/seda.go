@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"actop/internal/metrics"
 )
 
 // Task is one unit of stage work.
@@ -35,6 +37,13 @@ type Stats struct {
 	QueueWait time.Duration // summed queue residence time
 	QueueLen  int           // instantaneous queue length
 	Workers   int           // current worker count
+
+	// Wait and Busy are latency-distribution summaries (count, mean, p50,
+	// p95, p99, max) of per-task queue-residence and execution wall time in
+	// the window — the thread controller's raw measurements (§5.4) and the
+	// /debug/actop payload.
+	Wait metrics.Summary
+	Busy metrics.Summary
 }
 
 type queued struct {
@@ -64,6 +73,14 @@ type Stage struct {
 	processed atomic.Uint64
 	busyNanos atomic.Int64
 	waitNanos atomic.Int64
+
+	// window latency distributions. Histograms record in O(1) but are not
+	// concurrency-safe, so workers take obsMu for the two Record calls per
+	// completed task; the critical section is a handful of array increments,
+	// far below the channel-receive cost already on this path.
+	obsMu    sync.Mutex
+	waitHist metrics.Histogram
+	busyHist metrics.Histogram
 
 	wg sync.WaitGroup
 }
@@ -117,10 +134,16 @@ func (s *Stage) worker(stop chan struct{}) {
 				return
 			}
 			start := time.Now()
-			s.waitNanos.Add(int64(start.Sub(q.at)))
+			wait := start.Sub(q.at)
+			s.waitNanos.Add(int64(wait))
 			q.task()
-			s.busyNanos.Add(int64(time.Since(start)))
+			busy := time.Since(start)
+			s.busyNanos.Add(int64(busy))
 			s.processed.Add(1)
+			s.obsMu.Lock()
+			s.waitHist.Record(wait)
+			s.busyHist.Record(busy)
+			s.obsMu.Unlock()
 		}
 	}
 }
@@ -172,6 +195,12 @@ func (s *Stage) QueueLen() int { return len(s.queue) }
 
 // Snapshot returns the window counters and resets them.
 func (s *Stage) Snapshot() Stats {
+	s.obsMu.Lock()
+	wait := s.waitHist.Summarize()
+	busy := s.busyHist.Summarize()
+	s.waitHist.Reset()
+	s.busyHist.Reset()
+	s.obsMu.Unlock()
 	return Stats{
 		Name:      s.name,
 		Arrivals:  s.arrivals.Swap(0),
@@ -180,6 +209,8 @@ func (s *Stage) Snapshot() Stats {
 		QueueWait: time.Duration(s.waitNanos.Swap(0)),
 		QueueLen:  s.QueueLen(),
 		Workers:   s.Workers(),
+		Wait:      wait,
+		Busy:      busy,
 	}
 }
 
