@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench-msgplane
+.PHONY: check build test vet race fuzz-smoke bench-msgplane
 
 # check is the pre-PR gate: vet, build everything, race-test the
 # concurrency-heavy packages (transport, actor, seda, codec), then the full
-# tier-1 suite.
-check: vet build race test
+# tier-1 suite, then a short fuzz pass over the wire decoders.
+check: vet build race test fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,14 @@ race:
 
 test:
 	$(GO) test ./...
+
+# fuzz-smoke runs each wire-decoder fuzz target briefly — enough for CI to
+# catch a decode panic or over-allocation regression without open-ended
+# fuzzing time.
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzDecodeEnvelope -fuzztime 10s ./internal/transport
+	$(GO) test -run XXX -fuzz FuzzFrameRead -fuzztime 10s ./internal/codec
+	$(GO) test -run XXX -fuzz FuzzFrameRoundTrip -fuzztime 5s ./internal/codec
 
 # bench-msgplane runs the message-plane micro-benchmarks (codec marshal /
 # deep copy, TCP throughput, local/remote call round trips).

@@ -8,6 +8,7 @@ import (
 
 	"actop/internal/actor"
 	"actop/internal/core"
+	"actop/internal/metrics"
 )
 
 // debugPayload is the /debug/actop JSON document: node identity and
@@ -25,6 +26,10 @@ type debugPayload struct {
 	MigrationsOut uint64 `json:"migrations_out"`
 	Redirects     uint64 `json:"redirects"`
 	Edges         int    `json:"monitored_edges"`
+
+	// Failure tolerance: the detector's per-peer states and counters.
+	Membership map[string]string       `json:"membership"`
+	Failures   metrics.FailureSnapshot `json:"failures"`
 
 	ActOpEnabled   bool  `json:"actop_enabled"`
 	ExchangeRounds int   `json:"exchange_rounds"`
@@ -55,6 +60,11 @@ func newDebugMux(sys *actor.System, opt *core.Optimizer) *http.ServeMux {
 		for _, peer := range sys.Peers() {
 			p.Peers = append(p.Peers, string(peer))
 		}
+		p.Membership = make(map[string]string)
+		for peer, st := range sys.Membership() {
+			p.Membership[string(peer)] = st.String()
+		}
+		p.Failures = sys.Failures()
 		recv, work, send := sys.Stages()
 		p.StageWorkers = []int{recv.Workers(), work.Workers(), send.Workers()}
 		p.StageQueueLens = []int{recv.QueueLen(), work.QueueLen(), send.QueueLen()}

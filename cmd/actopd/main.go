@@ -63,6 +63,10 @@ func main() {
 		noActOp  = flag.Bool("no-actop", false, "disable the ActOp optimizer")
 		noTune   = flag.Bool("no-thread-control", false, "keep partitioning but disable the live thread controller")
 		tuneIvl  = flag.Duration("thread-interval", 0, "thread controller period (0 = optimizer default)")
+		hbIvl    = flag.Duration("heartbeat-interval", time.Second, "failure detector ping period (and per-ping timeout)")
+		suspect  = flag.Int("suspect-after", 2, "consecutive missed heartbeats before a peer is suspect")
+		deadAft  = flag.Int("dead-after", 5, "consecutive missed heartbeats before a peer is declared dead")
+		noFail   = flag.Bool("no-failover", false, "disable the failure detector, call retries, and actor failover")
 		debug    = flag.String("debug", "", "serve /debug/actop + pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 		stats    = flag.Duration("stats", 10*time.Second, "stats logging period")
 		call     = flag.String("call", "", "one-shot: call type/key instead of serving")
@@ -94,6 +98,10 @@ func main() {
 		Transport: tr, Peers: uniq, Seed: time.Now().UnixNano(),
 		DisableThreadControl:  *noTune,
 		ThreadControlInterval: *tuneIvl,
+		HeartbeatInterval:     *hbIvl,
+		SuspectAfter:          *suspect,
+		DeadAfter:             *deadAft,
+		DisableFailover:       *noFail,
 	})
 	if err != nil {
 		log.Fatal(err)

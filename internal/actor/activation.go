@@ -3,6 +3,7 @@ package actor
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"actop/internal/codec"
 )
@@ -32,6 +33,12 @@ type activation struct {
 	// this activation; ID-matched drops (failed-transfer cleanup) may only
 	// remove the install they were issued against.
 	installID string
+	// epoch counts this incarnation's position in the actor's migration
+	// chain (0 for a fresh placement, +1 per transfer). It rides along in
+	// directory updates so a delayed/retried update from an older migration
+	// can never overwrite the directory state of a newer one. Immutable
+	// after the activation is published.
+	epoch uint64
 
 	// turnMu is held for the duration of each Receive; Migrate acquires it
 	// to guarantee no turn is in flight while the state is snapshotted.
@@ -118,30 +125,15 @@ func (a *activation) drain(s *System) {
 			s.forwardInvocation(a.ref, inv)
 			continue
 		}
-		ctx := &Context{sys: s, self: a.ref}
-		if inv.isVal {
-			// Zero-copy local turn: args were isolated by the caller via
-			// CopyValue; the result is isolated here, inside the turn,
-			// before the actor can mutate it again.
-			val, err := a.actor.(ValueReceiver).ReceiveValue(ctx, inv.method, inv.argsVal)
-			var data []byte
-			if err == nil && val != nil {
-				if c, ok := val.(codec.Copier); ok {
-					val = c.CopyValue()
-				} else {
-					// No Copier on the result: fall back to serialization
-					// for isolation (decoded by the caller).
-					data, err = codec.Marshal(val)
-					val = nil
-				}
-			}
-			a.turnMu.Unlock()
-			inv.respond(data, val, err)
-			continue
-		}
-		data, err := a.actor.Receive(ctx, inv.method, inv.args)
+		data, val, err, panicked := a.invoke(&Context{sys: s, self: a.ref}, inv)
 		a.turnMu.Unlock()
-		inv.respond(data, nil, err)
+		if panicked {
+			// Panic isolation: the instance may hold corrupt state, so
+			// retire it (the caller gets an error reply, not a dead node;
+			// the next call re-activates a fresh instance).
+			s.isolatePanic(a)
+		}
+		inv.respond(data, val, err)
 	}
 	// Batch exhausted: yield the worker and reschedule.
 	a.mu.Lock()
@@ -152,6 +144,60 @@ func (a *activation) drain(s *System) {
 	}
 	a.mu.Unlock()
 	a.schedule(s)
+}
+
+// invoke executes one turn against the actor instance, with the panicking
+// method recovered into an error result (panicked=true) instead of taking
+// the whole node down. Called with turnMu held.
+func (a *activation) invoke(ctx *Context, inv invocation) (data []byte, val interface{}, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			data, val = nil, nil
+			err = fmt.Errorf("actor: panic in %s.%s: %v", a.ref, inv.method, r)
+			panicked = true
+		}
+	}()
+	if inv.isVal {
+		// Zero-copy local turn: args were isolated by the caller via
+		// CopyValue; the result is isolated here, inside the turn,
+		// before the actor can mutate it again.
+		val, err = a.actor.(ValueReceiver).ReceiveValue(ctx, inv.method, inv.argsVal)
+		if err == nil && val != nil {
+			if c, ok := val.(codec.Copier); ok {
+				val = c.CopyValue()
+			} else {
+				// No Copier on the result: fall back to serialization
+				// for isolation (decoded by the caller).
+				data, err = codec.Marshal(val)
+				val = nil
+			}
+		}
+		return data, val, err, false
+	}
+	data, err = a.actor.Receive(ctx, inv.method, inv.args)
+	return data, nil, err, false
+}
+
+// isolatePanic retires an activation whose method panicked. The faulty
+// instance is dropped (not snapshotted — its state is suspect), queued
+// invocations re-route, and the directory still points here, so the next
+// call builds a fresh instance from the factory.
+func (s *System) isolatePanic(a *activation) {
+	s.failures.Panics.Add(1)
+	s.mu.Lock()
+	if cur, ok := s.activations[a.ref]; ok && cur == a {
+		delete(s.activations, a.ref)
+		delete(s.locCache, a.ref)
+	}
+	s.mu.Unlock()
+	a.mu.Lock()
+	a.forwarded = true
+	pending := a.queue
+	a.queue = nil
+	a.mu.Unlock()
+	for _, inv := range pending {
+		s.forwardInvocation(a.ref, inv)
+	}
 }
 
 // activationFor returns the local activation for ref, creating it on demand
@@ -171,7 +217,7 @@ func (s *System) activationFor(ref Ref, activate bool) (*activation, error) {
 	if !activate {
 		return nil, nil
 	}
-	node, err := s.locate(ref, true)
+	node, err := s.locate(ref, true, time.Now().Add(s.cfg.CallTimeout))
 	if err != nil {
 		return nil, err
 	}
@@ -190,11 +236,13 @@ func (s *System) activationFor(ref Ref, activate bool) (*activation, error) {
 	return act, nil
 }
 
-// forwardInvocation re-routes an invocation that raced with a migration.
-// Value invocations are serialized at this point: the actor moved to
-// another node (or is moving), so the zero-copy path no longer applies.
+// forwardInvocation re-routes an invocation that raced with a migration or
+// a panic-retirement. Value invocations are serialized at this point: the
+// actor moved to another node (or is moving), so the zero-copy path no
+// longer applies. The forwarding goroutine is tracked so Stop can wait it
+// out; after Stop the invocation fails with ErrStopped instead.
 func (s *System) forwardInvocation(ref Ref, inv invocation) {
-	go func() {
+	run := func() {
 		args := inv.args
 		if inv.isVal {
 			var err error
@@ -203,9 +251,12 @@ func (s *System) forwardInvocation(ref Ref, inv invocation) {
 				return
 			}
 		}
-		data, err := s.dispatch(ref, inv.method, args, 0)
+		data, err, _ := s.dispatchRetry(ref, inv.method, args)
 		inv.respond(data, nil, err)
-	}()
+	}
+	if !s.trackGo(run) {
+		inv.respond(nil, nil, ErrStopped)
+	}
 }
 
 // LocalRefs lists the refs of actors activated on this node.

@@ -116,6 +116,28 @@ type Config struct {
 	// last exchange are rejected (default one minute, as in the paper).
 	ExchangeRejectWindow time.Duration
 
+	// HeartbeatInterval is the failure detector's ping period; each ping
+	// must round-trip within one interval or it counts as a miss
+	// (default 1s). The detector only runs on multi-node clusters.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the consecutive missed heartbeats before a peer is
+	// marked Suspect (default 2). Suspect peers get short per-attempt call
+	// timeouts and are excluded from partition exchanges.
+	SuspectAfter int
+	// DeadAfter is the consecutive missed heartbeats before a peer is
+	// declared Dead (default 5). Death triggers failover: routing state
+	// pointing at the peer is purged, its directory ranges rehash to
+	// survivors, and its actors re-activate elsewhere on next call.
+	DeadAfter int
+	// DisableFailover turns the whole failure-tolerance layer off: no
+	// heartbeats, no membership states, no call retries, no reply dedup —
+	// the pre-failover static-cluster behavior.
+	DisableFailover bool
+	// RetryBackoff is the initial delay between call retry attempts;
+	// backoff doubles per retry (with ±50% jitter) up to 16× this value,
+	// always within the CallTimeout budget (default 10ms).
+	RetryBackoff time.Duration
+
 	// DisableThreadControl turns off the live thread-allocation control
 	// loop (§5) that core.NewOptimizer attaches to this node's stages; the
 	// initial Workers/ReceiverWorkers/SenderWorkers split then stays fixed.
@@ -165,6 +187,18 @@ func (c *Config) fill() error {
 	}
 	if c.ExchangeRejectWindow <= 0 {
 		c.ExchangeRejectWindow = time.Minute
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
 	}
 	return nil
 }

@@ -1,0 +1,276 @@
+package actor
+
+import (
+	"hash/fnv"
+	"time"
+
+	"actop/internal/metrics"
+	"actop/internal/transport"
+)
+
+// Node-failure tolerance: a heartbeat failure detector with an
+// alive→suspect→dead state machine per peer, and the failover actions that
+// fire on a death — purge poisoned routing state and rehash the placement
+// directory so the next call re-activates the dead node's actors on
+// survivors (the Orleans virtual-actor recovery model, §2).
+
+// PeerState is a peer's position in the failure detector's state machine.
+type PeerState int
+
+// Detector states. A peer starts Alive, becomes Suspect after
+// Config.SuspectAfter consecutive missed heartbeats, Dead after
+// Config.DeadAfter, and returns to Alive on any successful round trip
+// (or any inbound ping from it).
+const (
+	PeerAlive PeerState = iota
+	PeerSuspect
+	PeerDead
+)
+
+// String renders the state for logs and debug endpoints.
+func (p PeerState) String() string {
+	switch p {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// memberEntry is the detector's per-peer record.
+type memberEntry struct {
+	state    PeerState
+	missed   int  // consecutive failed heartbeat round trips
+	inFlight bool // a ping to this peer is outstanding
+}
+
+// heartbeatLoop drives the detector: every HeartbeatInterval, ping every
+// peer without an outstanding ping, with the interval itself as the ping
+// timeout (a peer that cannot answer within one interval counts as a miss).
+func (s *System) heartbeatLoop() {
+	t := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.pingPeers()
+		}
+	}
+}
+
+func (s *System) pingPeers() {
+	for _, p := range s.peers {
+		if p == s.Node() {
+			continue
+		}
+		peer := p
+		s.fdMu.Lock()
+		m := s.members[peer]
+		if m.inFlight {
+			s.fdMu.Unlock()
+			continue
+		}
+		m.inFlight = true
+		s.fdMu.Unlock()
+		if !s.trackGo(func() {
+			err := s.controlCallT(peer, ctlPing, string(s.Node()), nil, s.cfg.HeartbeatInterval)
+			s.failures.HeartbeatsSent.Add(1)
+			s.heartbeatResult(peer, err == nil)
+		}) {
+			s.fdMu.Lock()
+			m.inFlight = false
+			s.fdMu.Unlock()
+		}
+	}
+}
+
+// heartbeatResult folds one ping outcome into the state machine and fires
+// the failover/notification side effects of any transition outside the
+// detector lock.
+func (s *System) heartbeatResult(peer transport.NodeID, ok bool) {
+	if !ok {
+		s.failures.HeartbeatMisses.Add(1)
+	}
+	s.fdMu.Lock()
+	m := s.members[peer]
+	m.inFlight = false
+	old := m.state
+	if ok {
+		m.missed = 0
+		m.state = PeerAlive
+	} else {
+		m.missed++
+		switch {
+		case m.state == PeerAlive && m.missed >= s.cfg.SuspectAfter:
+			m.state = PeerSuspect
+		case m.state == PeerSuspect && m.missed >= s.cfg.DeadAfter:
+			m.state = PeerDead
+		}
+	}
+	st := m.state
+	s.fdMu.Unlock()
+	if st != old {
+		s.peerTransition(peer, old, st)
+	}
+}
+
+// markPeerAlive is the passive path: an inbound ping from a peer proves it
+// is reachable, so reset its record without waiting for our own ping.
+func (s *System) markPeerAlive(peer transport.NodeID) {
+	s.fdMu.Lock()
+	m, ok := s.members[peer]
+	if !ok {
+		s.fdMu.Unlock()
+		return // not in our static membership; ignore
+	}
+	old := m.state
+	m.missed = 0
+	m.state = PeerAlive
+	s.fdMu.Unlock()
+	if old != PeerAlive {
+		s.peerTransition(peer, old, PeerAlive)
+	}
+}
+
+// peerTransition records a membership change, runs failover on a death,
+// and notifies watchers. Called outside fdMu.
+func (s *System) peerTransition(peer transport.NodeID, from, to PeerState) {
+	switch to {
+	case PeerSuspect:
+		s.failures.Suspects.Add(1)
+	case PeerDead:
+		s.failures.Deaths.Add(1)
+		s.failoverPurge(peer)
+	case PeerAlive:
+		if from == PeerDead {
+			s.failures.Revivals.Add(1)
+		}
+	}
+	s.fdMu.Lock()
+	var watchers []func(transport.NodeID, PeerState)
+	watchers = append(watchers, s.watchers...)
+	s.fdMu.Unlock()
+	for _, w := range watchers {
+		w(peer, to)
+	}
+}
+
+// failoverPurge removes every piece of routing state poisoned by a dead
+// node: location-cache entries pointing at it, and the directory entries
+// this node owns whose placement was homed on it — so the next Call
+// re-places and re-activates those actors on a live node. Directory ranges
+// the dead node itself owned need no action here: directoryOwner rehashes
+// them to live survivors, whose (empty) directories re-place on demand.
+func (s *System) failoverPurge(dead transport.NodeID) {
+	var purged uint64
+	s.mu.Lock()
+	for ref, n := range s.locCache {
+		if n == dead {
+			delete(s.locCache, ref)
+			purged++
+		}
+	}
+	for ref, e := range s.dirEntries {
+		if e.node == dead {
+			delete(s.dirEntries, ref)
+			purged++
+		}
+	}
+	s.mu.Unlock()
+	s.failures.FailoverPurged.Add(purged)
+}
+
+// PeerStateOf reports the detector's current view of a peer. The local
+// node and unknown ids read as Alive.
+func (s *System) PeerStateOf(peer transport.NodeID) PeerState {
+	if peer == s.Node() {
+		return PeerAlive
+	}
+	s.fdMu.Lock()
+	defer s.fdMu.Unlock()
+	if m, ok := s.members[peer]; ok {
+		return m.state
+	}
+	return PeerAlive
+}
+
+// Membership snapshots the detector's view of every peer (including self,
+// always Alive).
+func (s *System) Membership() map[transport.NodeID]PeerState {
+	out := make(map[transport.NodeID]PeerState, len(s.peers))
+	s.fdMu.Lock()
+	for p, m := range s.members {
+		out[p] = m.state
+	}
+	s.fdMu.Unlock()
+	out[s.Node()] = PeerAlive
+	return out
+}
+
+// OnMembershipChange registers a callback invoked on every peer state
+// transition (from the detector's goroutines; keep it fast and do not call
+// back into blocking System methods).
+func (s *System) OnMembershipChange(fn func(transport.NodeID, PeerState)) {
+	s.fdMu.Lock()
+	s.watchers = append(s.watchers, fn)
+	s.fdMu.Unlock()
+}
+
+// Failures snapshots the node's failure-tolerance counters.
+func (s *System) Failures() metrics.FailureSnapshot { return s.failures.Snapshot() }
+
+// livePeers lists the peers not currently considered Dead (self included).
+// Placement draws from this list so new activations never land on a dead
+// node. Order follows s.peers (sorted), keeping placement deterministic
+// for a given seed while all peers are alive.
+func (s *System) livePeers() []transport.NodeID {
+	out := make([]transport.NodeID, 0, len(s.peers))
+	s.fdMu.Lock()
+	for _, p := range s.peers {
+		if p == s.Node() {
+			out = append(out, p)
+			continue
+		}
+		if m, ok := s.members[p]; !ok || m.state != PeerDead {
+			out = append(out, p)
+		}
+	}
+	s.fdMu.Unlock()
+	return out
+}
+
+// --- directory ownership under failures ---
+
+// directoryOwner is the node owning ref's placement entry: the static
+// hash-modulo home while that node is believed up, else a rendezvous-hash
+// pick among the live peers. The fallback touches only the dead node's
+// ranges — every other ref keeps its owner — and spreads them over all
+// survivors rather than one neighbor. Every node computes this from its own
+// membership view; transient disagreement windows resolve through redirects
+// and call retries.
+func (s *System) directoryOwner(ref Ref) transport.NodeID {
+	owner := s.peers[uint64(ref.Vertex())%uint64(len(s.peers))]
+	if s.cfg.DisableFailover || owner == s.Node() || s.PeerStateOf(owner) != PeerDead {
+		return owner
+	}
+	live := s.livePeers() // non-empty: always includes self
+	best := live[0]
+	var bestScore uint64
+	for _, p := range live {
+		h := fnv.New64a()
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+		h.Write([]byte(ref.Type))
+		h.Write([]byte{0})
+		h.Write([]byte(ref.Key))
+		if score := h.Sum64(); score >= bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best
+}

@@ -18,6 +18,7 @@ import (
 type migratePayload struct {
 	Type, Key string
 	ID        string
+	Epoch     uint64
 	HasState  bool
 	State     []byte
 }
@@ -43,6 +44,11 @@ func (s *System) migrationID() string {
 func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 	if to == s.Node() {
 		return nil
+	}
+	if !s.cfg.DisableFailover && s.PeerStateOf(to) != PeerAlive {
+		// Never ship state toward a node the detector distrusts: a transfer
+		// into a dying node strands the actor behind its failover.
+		return fmt.Errorf("%w: migrate %s to %s (%s)", errPeerDown, ref, to, s.PeerStateOf(to))
 	}
 	s.mu.RLock()
 	act, ok := s.activations[ref]
@@ -85,7 +91,9 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 		}
 	}
 
-	payload := migratePayload{Type: ref.Type, Key: ref.Key, ID: s.migrationID()}
+	// The transferred incarnation is one step further down the migration
+	// chain; its epoch versions the directory update below.
+	payload := migratePayload{Type: ref.Type, Key: ref.Key, ID: s.migrationID(), Epoch: act.epoch + 1}
 	if m, ok := act.actor.(Migratable); ok {
 		state, err := m.Snapshot()
 		if err != nil {
@@ -133,22 +141,32 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 	// this node's cache redirect keeps routing correct meanwhile — but the
 	// directory is what survives this node's cache eviction, so retry
 	// until the owner confirms.
-	update := dirRequest{Type: ref.Type, Key: ref.Key, NewNode: string(to)}
+	update := dirRequest{Type: ref.Type, Key: ref.Key, NewNode: string(to), Epoch: payload.Epoch}
 	if err := s.controlCall(s.directoryOwner(ref), ctlDirUpdate, update, nil); err != nil {
-		go s.retryDirUpdate(ref, update)
+		s.trackGo(func() { s.retryDirUpdate(ref, update) })
 	}
 	return nil
 }
 
+// sleepOrDone pauses for d, returning false immediately if the system stops
+// first — the gate every background retry loop waits through.
+func (s *System) sleepOrDone(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
 // retryDirUpdate re-sends a lost directory update a few times with backoff
-// (best effort; gives up once the system stops or attempts run out).
+// (best effort; gives up once the system stops or attempts run out). Runs
+// on a tracked goroutine so Stop waits it out.
 func (s *System) retryDirUpdate(ref Ref, update dirRequest) {
 	for attempt := 0; attempt < 5; attempt++ {
-		time.Sleep(time.Duration(attempt+1) * 200 * time.Millisecond)
-		s.mu.RLock()
-		stopped := s.stopped
-		s.mu.RUnlock()
-		if stopped {
+		if !s.sleepOrDone(time.Duration(attempt+1) * 200 * time.Millisecond) {
 			return
 		}
 		if s.controlCall(s.directoryOwner(ref), ctlDirUpdate, update, nil) == nil {
@@ -159,17 +177,16 @@ func (s *System) retryDirUpdate(ref Ref, update dirRequest) {
 
 // dropOrphan asks node to remove an activation installed by migration id,
 // retrying in the background with capped backoff until the drop is
-// acknowledged or this node stops. The same network faults that failed the
-// transfer can swallow any bounded number of drops, so cleanup keeps
-// trying; the ID match makes arbitrarily late or duplicated drops safe.
+// acknowledged, the node is declared dead (death retires the orphan with
+// everything else on it), or this node stops. The same network faults that
+// failed the transfer can swallow any bounded number of drops, so cleanup
+// keeps trying; the ID match makes arbitrarily late or duplicated drops
+// safe.
 func (s *System) dropOrphan(node transport.NodeID, ref Ref, id string) {
-	go func() {
+	s.trackGo(func() {
 		backoff := 100 * time.Millisecond
 		for attempt := 0; attempt < 50; attempt++ {
-			s.mu.RLock()
-			stopped := s.stopped
-			s.mu.RUnlock()
-			if stopped {
+			if !s.cfg.DisableFailover && s.PeerStateOf(node) == PeerDead {
 				return
 			}
 			if s.controlCall(node, ctlMigrateDrop, migratePayload{
@@ -177,12 +194,14 @@ func (s *System) dropOrphan(node transport.NodeID, ref Ref, id string) {
 			}, nil) == nil {
 				return
 			}
-			time.Sleep(backoff)
+			if !s.sleepOrDone(backoff) {
+				return
+			}
 			if backoff < 500*time.Millisecond {
 				backoff += 100 * time.Millisecond
 			}
 		}
-	}()
+	})
 }
 
 // handleMigratePut installs an inbound migrated actor. A duplicate put for
@@ -220,7 +239,7 @@ func (s *System) handleMigratePut(payload []byte) ([]byte, error) {
 			return nil, fmt.Errorf("actor: restore %s: %w", ref, err)
 		}
 	}
-	s.activations[ref] = &activation{ref: ref, actor: inst, installID: p.ID}
+	s.activations[ref] = &activation{ref: ref, actor: inst, installID: p.ID, epoch: p.Epoch}
 	s.locCache[ref] = s.Node()
 	s.vertexRefs[uint64(ref.Vertex())] = ref
 	s.mu.Unlock()
@@ -400,6 +419,9 @@ func (s *System) ExchangeRound(opts partition.Options, window time.Duration) (in
 			continue
 		}
 		peer := s.peers[peerIdx]
+		if !s.cfg.DisableFailover && s.PeerStateOf(peer) != PeerAlive {
+			continue // never trade actors with a suspect or dead peer
+		}
 		wire := exchangeWire{
 			FromIndex:      int(self),
 			FromPopulation: prop.FromPopulation,
@@ -454,6 +476,12 @@ func (s *System) handleExchange(payload []byte, from transport.NodeID) ([]byte, 
 	if s.exchangeCooling(s.cfg.ExchangeRejectWindow) {
 		return codec.Marshal(exchangeReply{Rejected: true})
 	}
+	if !s.cfg.DisableFailover && s.PeerStateOf(from) != PeerAlive {
+		// An exchange proposal from a peer we distrust: accepting would ship
+		// actors toward (or from) a node mid-failure. Reject; the initiator
+		// retries a round later if it is actually healthy.
+		return codec.Marshal(exchangeReply{Rejected: true})
+	}
 	opts := partition.Options{
 		CandidateSetSize:   wire.Opts.CandidateSetSize,
 		ImbalanceTolerance: wire.Opts.ImbalanceTolerance,
@@ -496,13 +524,13 @@ func (s *System) handleExchange(payload []byte, from transport.NodeID) ([]byte, 
 	// block the receive stage on control round trips back to the initiator.
 	if len(resp.Counter) > 0 {
 		counters := append([]graph.Vertex(nil), resp.Counter...)
-		go func() {
+		s.trackGo(func() {
 			for _, v := range counters {
 				if ref, ok := s.refOf(uint64(v)); ok {
 					_ = s.Migrate(ref, from)
 				}
 			}
-		}()
+		})
 	}
 	return codec.Marshal(reply)
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"actop/internal/codec"
+	"actop/internal/metrics"
 	"actop/internal/partition"
 	"actop/internal/seda"
 	"actop/internal/transport"
@@ -39,8 +40,14 @@ const (
 	ctlMigratePut  = "migrate.put"
 	ctlMigrateDrop = "migrate.drop"
 	ctlExchange    = "actop.exchange"
+	ctlPing        = "actop.ping"
 	ctlPlacementOK = "ok"
 )
+
+// errPeerDown marks a call attempt that failed because its target is (or
+// just turned) suspect/dead — the retryable class of failures, alongside
+// transport.ErrUnreachable.
+var errPeerDown = errors.New("actor: peer down")
 
 // System is one node of the distributed actor runtime.
 type System struct {
@@ -55,7 +62,7 @@ type System struct {
 	mu          sync.RWMutex
 	types       map[string]Factory
 	activations map[Ref]*activation
-	dirEntries  map[Ref]transport.NodeID // entries this node owns (hash-homed)
+	dirEntries  map[Ref]dirEntry // entries this node owns (hash-homed)
 	locCache    map[Ref]transport.NodeID
 	vertexRefs  map[uint64]Ref // vertex id → ref (for migration decisions)
 	stopped     bool
@@ -69,6 +76,26 @@ type System struct {
 
 	monMu   sync.Mutex
 	monitor *partition.Monitor
+
+	// Failure detector state (failure.go): per-peer membership records and
+	// change watchers.
+	fdMu     sync.Mutex
+	members  map[transport.NodeID]*memberEntry
+	watchers []func(transport.NodeID, PeerState)
+
+	// Reply dedup window: recently answered remote calls, keyed by the
+	// caller's (node, call id), so a retried call resends the recorded
+	// reply instead of executing the turn again.
+	dedupMu    sync.Mutex
+	dedup      map[dedupKey]*dedupEntry
+	dedupOrder []dedupKey
+
+	// done closes on Stop; background loops (heartbeats, retries, orphan
+	// drops) gate on it and are tracked in bg so Stop can wait them out.
+	done chan struct{}
+	bg   sync.WaitGroup
+
+	failures metrics.FailureCounters
 
 	// Counters (atomic; exported via Stats).
 	callsLocal, callsRemote, migrationsIn, migrationsOut, redirects atomic.Uint64
@@ -88,18 +115,51 @@ func NewSystem(cfg Config) (*System, error) {
 		peers:       peers,
 		types:       make(map[string]Factory),
 		activations: make(map[Ref]*activation),
-		dirEntries:  make(map[Ref]transport.NodeID),
+		dirEntries:  make(map[Ref]dirEntry),
 		locCache:    make(map[Ref]transport.NodeID),
 		vertexRefs:  make(map[uint64]Ref),
 		pending:     make(map[uint64]chan *transport.Envelope),
 		rng:         rand.New(rand.NewSource(cfg.Seed ^ int64(hashNode(cfg.Transport.Node())))),
 		monitor:     partition.NewMonitor(cfg.MonitorCapacity),
+		members:     make(map[transport.NodeID]*memberEntry, len(peers)),
+		dedup:       make(map[dedupKey]*dedupEntry),
+		done:        make(chan struct{}),
+	}
+	for _, p := range peers {
+		if p != s.Node() {
+			s.members[p] = &memberEntry{state: PeerAlive}
+		}
 	}
 	s.recvStage = seda.NewStage("receiver", cfg.QueueCap, cfg.ReceiverWorkers)
 	s.workStage = seda.NewStage("worker", cfg.QueueCap, cfg.Workers)
 	s.sendStage = seda.NewStage("sender", cfg.QueueCap, cfg.SenderWorkers)
 	s.tr.SetHandler(s.onEnvelope)
+	if !cfg.DisableFailover && len(peers) > 1 {
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			s.heartbeatLoop()
+		}()
+	}
 	return s, nil
+}
+
+// trackGo runs fn on a tracked goroutine unless the system has stopped.
+// Stop waits for every tracked goroutine, so fn must gate any waiting on
+// s.done. Returns false (fn not run) after Stop.
+func (s *System) trackGo(fn func()) bool {
+	s.mu.RLock()
+	if s.stopped {
+		s.mu.RUnlock()
+		return false
+	}
+	s.bg.Add(1)
+	s.mu.RUnlock()
+	go func() {
+		defer s.bg.Done()
+		fn()
+	}()
+	return true
 }
 
 func hashNode(n transport.NodeID) uint64 {
@@ -136,7 +196,9 @@ func (s *System) Stages() (recv, work, send *seda.Stage) {
 // controllers can honor DisableThreadControl / ThreadControlInterval.
 func (s *System) Config() Config { return s.cfg }
 
-// Stop shuts the node down: stages drain, the transport closes.
+// Stop shuts the node down: background loops (heartbeats, retry/cleanup
+// goroutines) are signalled and awaited, stages drain, the transport
+// closes.
 func (s *System) Stop() {
 	s.mu.Lock()
 	if s.stopped {
@@ -145,10 +207,12 @@ func (s *System) Stop() {
 	}
 	s.stopped = true
 	s.mu.Unlock()
+	close(s.done)
 	s.tr.Close()
 	s.recvStage.Close()
 	s.workStage.Close()
 	s.sendStage.Close()
+	s.bg.Wait()
 }
 
 // Stats is a snapshot of node counters.
@@ -217,12 +281,13 @@ func (s *System) call(from *Ref, to Ref, method string, args, reply interface{})
 			return err
 		}
 	}
-	result, err := s.dispatch(to, method, data, 0)
-	if data != nil && !errors.Is(err, ErrTimeout) {
+	result, err, recyclable := s.dispatchRetry(to, method, data)
+	if data != nil && recyclable {
 		// The callee's turn is over (reply received, or the call was
 		// rejected before delivery), so no reference to the args buffer
-		// survives and it can return to the pool. On timeout the callee
-		// may still be reading it — leak it to the GC instead.
+		// survives and it can return to the pool. When an attempt timed
+		// out or was retried, a stale send may still be reading it — leak
+		// it to the GC instead.
 		codec.PutBuffer(data)
 	}
 	if err != nil {
@@ -301,27 +366,133 @@ func (s *System) callLocalValue(to Ref, method string, args, reply interface{}) 
 	}
 }
 
+// dispatchRetry is the fault-tolerant invocation driver: it runs dispatch
+// attempts under the single CallTimeout budget, retrying retryable failures
+// (unreachable peers, suspect/dead-node timeouts, plain timeouts — the
+// reply dedup window on the callee makes re-sends safe) with capped
+// exponential backoff plus jitter. The call id is fixed across attempts so
+// the callee can recognize re-sends. recyclable reports whether the args
+// buffer is provably unreferenced (single attempt, no timeout) and may
+// return to the pool.
+func (s *System) dispatchRetry(to Ref, method string, args []byte) (res []byte, err error, recyclable bool) {
+	deadline := time.Now().Add(s.cfg.CallTimeout)
+	callID := s.nextID.Add(1)
+	if s.cfg.DisableFailover {
+		res, err = s.dispatch(to, method, args, 0, callID, deadline)
+		return res, err, !errors.Is(err, ErrTimeout)
+	}
+	backoff := s.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		res, err = s.dispatch(to, method, args, 0, callID, deadline)
+		if err == nil {
+			return res, nil, attempt == 0
+		}
+		if !retryable(err) {
+			return res, err, attempt == 0 && !errors.Is(err, ErrTimeout)
+		}
+		if errors.Is(err, transport.ErrUnreachable) || errors.Is(err, errPeerDown) {
+			// The target node itself is gone (or distrusted): the cache
+			// entry that routed us there is poison, so re-resolve through
+			// the directory next attempt. A plain timeout must NOT purge
+			// the cache — after a migration whose directory update is
+			// still in flight, the source's cache redirect is the only
+			// correct route, and the directory is the staler of the two;
+			// re-resolving through it would re-place the actor on a node
+			// that already handed it off (split brain).
+			s.cacheDel(to)
+		}
+		wait := s.jitter(backoff)
+		if backoff < s.cfg.RetryBackoff*16 {
+			backoff *= 2
+		}
+		if time.Since(start) > wait {
+			wait = 0 // the attempt itself already waited (a timeout)
+		}
+		if time.Until(deadline) <= wait+time.Millisecond {
+			return nil, err, false // budget exhausted
+		}
+		s.failures.Retries.Add(1)
+		if wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-s.done:
+				return nil, ErrStopped, false
+			}
+		}
+	}
+}
+
+// retryable classifies call failures: transport-level unreachability and
+// timeouts may be re-sent (the dedup window guarantees at-most-once
+// execution per activation); application errors, overload rejections, and
+// routing errors are returned to the caller as-is.
+func retryable(err error) bool {
+	return errors.Is(err, transport.ErrUnreachable) ||
+		errors.Is(err, errPeerDown) ||
+		errors.Is(err, ErrTimeout)
+}
+
+// jitter spreads a backoff delay over [0.5d, 1.5d) so retry storms from
+// many callers decorrelate.
+func (s *System) jitter(d time.Duration) time.Duration {
+	s.rngMu.Lock()
+	f := 0.5 + s.rng.Float64()
+	s.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// attemptTimeout bounds one remote attempt so a mid-call node failure can
+// be retried within the budget: long enough for the detector to have an
+// opinion (two heartbeat intervals), never longer than the remaining
+// budget. Slow turns are not penalized — a timed-out attempt re-sends with
+// the same call id, and the retry either adopts the still-running turn's
+// reply or gets the deduped recorded one.
+func (s *System) attemptTimeout(deadline time.Time) time.Duration {
+	remaining := time.Until(deadline)
+	if s.cfg.DisableFailover {
+		return remaining
+	}
+	cap := 2 * s.cfg.HeartbeatInterval
+	if floor := 4 * s.cfg.RetryBackoff; cap < floor {
+		cap = floor
+	}
+	if remaining < cap {
+		return remaining
+	}
+	return cap
+}
+
 // dispatch routes one encoded invocation, following redirects.
-func (s *System) dispatch(to Ref, method string, args []byte, depth int) ([]byte, error) {
+func (s *System) dispatch(to Ref, method string, args []byte, depth int, callID uint64, deadline time.Time) ([]byte, error) {
 	if depth > 3 {
 		return nil, fmt.Errorf("actor: too many redirects for %s", to)
 	}
-	node, err := s.locate(to, true)
+	node, err := s.locate(to, true, deadline)
 	if err != nil {
 		return nil, err
 	}
 	if node == s.Node() {
 		s.callsLocal.Add(1)
-		return s.invokeLocal(to, method, args)
+		return s.invokeLocal(to, method, args, deadline)
+	}
+	if !s.cfg.DisableFailover && s.PeerStateOf(node) == PeerDead {
+		// Fail fast instead of waiting out a timeout against a node the
+		// detector already declared dead; the retry re-resolves through
+		// the (purged) directory to a live host.
+		return nil, fmt.Errorf("%w: %s is dead", errPeerDown, node)
 	}
 	s.callsRemote.Add(1)
-	res, err := s.remoteCall(node, to, method, args)
+	res, err := s.remoteCall(node, to, method, args, callID, s.attemptTimeout(deadline))
 	if err != nil {
 		var redir redirectError
 		if errors.As(err, &redir) {
 			s.redirects.Add(1)
 			s.cachePut(to, redir.node)
-			return s.dispatch(to, method, args, depth+1)
+			return s.dispatch(to, method, args, depth+1, callID, deadline)
+		}
+		if errors.Is(err, ErrTimeout) && s.PeerStateOf(node) != PeerAlive {
+			return nil, fmt.Errorf("%w: %w", errPeerDown, err)
 		}
 		return nil, err
 	}
@@ -333,15 +504,17 @@ type redirectError struct{ node transport.NodeID }
 func (e redirectError) Error() string { return "actor: redirected to " + string(e.node) }
 
 // invokeLocal runs the invocation on the local activation (activating on
-// demand), synchronously from the caller's perspective.
-func (s *System) invokeLocal(to Ref, method string, args []byte) ([]byte, error) {
+// demand), synchronously from the caller's perspective. The wait runs to
+// the caller's full deadline — local execution has no lost-message failure
+// mode, so chunked attempts would only risk double-enqueueing the turn.
+func (s *System) invokeLocal(to Ref, method string, args []byte, deadline time.Time) ([]byte, error) {
 	act, err := s.activationFor(to, true)
 	if err != nil {
 		return nil, err
 	}
 	if act == nil {
 		// We are not (or no longer) the host: redirect through routing.
-		node, err := s.locate(to, false)
+		node, err := s.locate(to, false, deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -362,18 +535,24 @@ func (s *System) invokeLocal(to Ref, method string, args []byte) ([]byte, error)
 			ch <- outcome{data: data, err: err}
 		},
 	}, s)
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
 	select {
 	case out := <-ch:
 		return out.data, out.err
-	case <-time.After(s.cfg.CallTimeout):
+	case <-timer.C:
 		return nil, fmt.Errorf("%w: %s.%s", ErrTimeout, to, method)
+	case <-s.done:
+		return nil, ErrStopped
 	}
 }
 
-// remoteCall performs one RPC through the send stage and waits for the
-// correlated reply.
-func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args []byte) ([]byte, error) {
-	id := s.nextID.Add(1)
+// remoteCall performs one RPC attempt through the send stage and waits up
+// to timeout for the correlated reply. The id is owned by the caller so
+// retries of one logical call share it (the callee's dedup window keys on
+// it); concurrent attempts cannot overlap because attempts are sequential
+// within dispatchRetry.
+func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args []byte, id uint64, timeout time.Duration) ([]byte, error) {
 	ch := make(chan *transport.Envelope, 1)
 	s.pendMu.Lock()
 	s.pending[id] = ch
@@ -389,20 +568,34 @@ func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args [
 		ActorType: to.Type, ActorKey: to.Key,
 		Method: method, Payload: args,
 	}
-	if err := s.sendStage.Submit(func() { _ = s.tr.Send(node, env) }); err != nil {
+	sendErr := make(chan error, 1)
+	if err := s.sendStage.Submit(func() { sendErr <- s.tr.Send(node, env) }); err != nil {
 		return nil, fmt.Errorf("%w: send queue", ErrOverloaded)
 	}
-	select {
-	case reply := <-ch:
-		if reply.Err != "" {
-			if strings.HasPrefix(reply.Err, redirectPrefix) {
-				return nil, redirectError{node: transport.NodeID(strings.TrimPrefix(reply.Err, redirectPrefix))}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case err := <-sendErr:
+			if err != nil {
+				// Surface transport failures (ErrUnreachable on a dead
+				// peer's address) instead of waiting out the timeout.
+				return nil, err
 			}
-			return nil, errors.New(reply.Err)
+			sendErr = nil // delivered; keep waiting for the reply
+		case reply := <-ch:
+			if reply.Err != "" {
+				if strings.HasPrefix(reply.Err, redirectPrefix) {
+					return nil, redirectError{node: transport.NodeID(strings.TrimPrefix(reply.Err, redirectPrefix))}
+				}
+				return nil, errors.New(reply.Err)
+			}
+			return reply.Payload, nil
+		case <-timer.C:
+			return nil, fmt.Errorf("%w: %s.%s @%s", ErrTimeout, to, method, node)
+		case <-s.done:
+			return nil, ErrStopped
 		}
-		return reply.Payload, nil
-	case <-time.After(s.cfg.CallTimeout):
-		return nil, fmt.Errorf("%w: %s.%s @%s", ErrTimeout, to, method, node)
 	}
 }
 
@@ -437,40 +630,132 @@ func (s *System) handle(env *transport.Envelope) {
 	}
 }
 
+// --- reply dedup window (at-most-once turns under call retries) ---
+
+// dedupKey identifies one logical call: the caller's node plus its call id
+// (stable across that call's retry attempts).
+type dedupKey struct {
+	from transport.NodeID
+	id   uint64
+}
+
+// dedupEntry records a call's outcome. While the turn is still running the
+// entry is pending (done=false) and duplicate deliveries are simply
+// dropped — the running turn's reply carries the same id the retrying
+// caller is waiting on. Once done, duplicates are answered from the record.
+type dedupEntry struct {
+	done    bool
+	payload []byte
+	errStr  string
+}
+
+// dedupWindow bounds the recorded-reply window (FIFO eviction). Entries
+// only need to outlive one call's retry schedule, which the CallTimeout
+// budget bounds; 8192 in-flight-or-recent remote calls per node is far
+// beyond that horizon at any load the queues admit.
+const dedupWindow = 8192
+
+// dedupBegin claims the dedup slot for a call delivery. It returns
+// proceed=true exactly once per key while the entry is resident — the
+// caller must finish with dedupResolve. Duplicate deliveries return the
+// recorded entry (nil while the original is still executing).
+func (s *System) dedupBegin(key dedupKey) (proceed bool, prior *dedupEntry) {
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	if e, ok := s.dedup[key]; ok {
+		if !e.done {
+			return false, nil
+		}
+		return false, e
+	}
+	s.dedup[key] = &dedupEntry{}
+	s.dedupOrder = append(s.dedupOrder, key)
+	if len(s.dedupOrder) > dedupWindow {
+		evict := s.dedupOrder[0]
+		s.dedupOrder = s.dedupOrder[1:]
+		delete(s.dedup, evict)
+	}
+	return true, nil
+}
+
+// dedupResolve records a call's reply so later duplicate deliveries resend
+// it instead of re-executing. The payload is copied: the original slice is
+// recycled by the caller once its reply round trip completes.
+func (s *System) dedupResolve(key dedupKey, payload []byte, errStr string) {
+	var cp []byte
+	if len(payload) > 0 {
+		cp = append(make([]byte, 0, len(payload)), payload...)
+	}
+	s.dedupMu.Lock()
+	if e, ok := s.dedup[key]; ok {
+		e.done = true
+		e.payload = cp
+		e.errStr = errStr
+	}
+	s.dedupMu.Unlock()
+}
+
 // handleCall delivers a remote invocation to the local activation, or
-// redirects the caller if the actor lives elsewhere now.
+// redirects the caller if the actor lives elsewhere now. Deliveries are
+// funneled through the dedup window so a retried call never executes a
+// second turn on this node.
 func (s *System) handleCall(env *transport.Envelope) {
 	to := Ref{Type: env.ActorType, Key: env.ActorKey}
+	from := env.From
+	id := env.ID
+	key := dedupKey{from: from, id: id}
+	if !s.cfg.DisableFailover {
+		proceed, prior := s.dedupBegin(key)
+		if !proceed {
+			s.failures.DedupHits.Add(1)
+			if prior != nil {
+				s.sendReply(from, id, prior.payload, prior.errStr)
+			}
+			// Still executing: drop the duplicate; the running turn's
+			// reply answers the caller's current attempt (same id).
+			return
+		}
+	}
+	respond := func(data []byte, err error) {
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		if !s.cfg.DisableFailover {
+			s.dedupResolve(key, data, errStr)
+		}
+		s.sendReply(from, id, data, errStr)
+	}
 	act, err := s.activationFor(to, true)
 	if err != nil {
-		s.replyErr(env, err.Error())
+		respond(nil, err)
 		return
 	}
 	if act == nil {
-		node, lerr := s.locate(to, false)
+		node, lerr := s.locate(to, false, time.Now().Add(s.cfg.CallTimeout))
 		if lerr != nil || node == s.Node() {
-			s.replyErr(env, fmt.Sprintf("actor: cannot route %s", to))
+			respond(nil, fmt.Errorf("actor: cannot route %s", to))
 			return
 		}
-		s.replyErr(env, redirectPrefix+string(node))
+		respond(nil, errors.New(redirectPrefix+string(node)))
 		return
 	}
-	from := env.From
-	id := env.ID
 	act.enqueue(invocation{
 		method: env.Method,
 		args:   env.Payload,
 		respond: func(data []byte, _ interface{}, err error) {
-			reply := &transport.Envelope{Kind: transport.KindReply, ID: id, Payload: data}
-			if err != nil {
-				reply.Err = err.Error()
-			}
-			if serr := s.sendStage.Submit(func() { _ = s.tr.Send(from, reply) }); serr != nil {
-				// Best effort under overload: send inline.
-				_ = s.tr.Send(from, reply)
-			}
+			respond(data, err)
 		},
 	}, s)
+}
+
+// sendReply ships one reply envelope through the send stage (inline as a
+// best effort under overload).
+func (s *System) sendReply(to transport.NodeID, id uint64, payload []byte, errStr string) {
+	reply := &transport.Envelope{Kind: transport.KindReply, ID: id, Payload: payload, Err: errStr}
+	if serr := s.sendStage.Submit(func() { _ = s.tr.Send(to, reply) }); serr != nil {
+		_ = s.tr.Send(to, reply)
+	}
 }
 
 func (s *System) replyErr(env *transport.Envelope, msg string) {
@@ -479,11 +764,10 @@ func (s *System) replyErr(env *transport.Envelope, msg string) {
 }
 
 // --- placement directory (hash-homed entries + per-node location cache) ---
-
-// directoryOwner is the node owning ref's placement entry.
-func (s *System) directoryOwner(ref Ref) transport.NodeID {
-	return s.peers[uint64(ref.Vertex())%uint64(len(s.peers))]
-}
+//
+// directoryOwner (failure.go) homes each ref on its hash-modulo peer; when
+// that peer is declared dead its ranges — and only its ranges — rehash to
+// survivors by rendezvous hashing.
 
 func (s *System) cacheGet(ref Ref) (transport.NodeID, bool) {
 	s.mu.RLock()
@@ -504,10 +788,20 @@ func (s *System) cachePut(ref Ref, node transport.NodeID) {
 	s.mu.Unlock()
 }
 
+// cacheDel drops a possibly poisoned location-cache entry so the next
+// attempt re-resolves through the directory.
+func (s *System) cacheDel(ref Ref) {
+	s.mu.Lock()
+	delete(s.locCache, ref)
+	s.mu.Unlock()
+}
+
 // locate resolves ref's hosting node: local activation wins, then the
 // location cache, then the directory owner (placing the actor on a node
 // according to the placement policy when unregistered and place is true).
-func (s *System) locate(ref Ref, place bool) (transport.NodeID, error) {
+// The directory RPC is bounded by the caller's deadline so a mid-lookup
+// owner failure surfaces in time to retry against the rehashed owner.
+func (s *System) locate(ref Ref, place bool, deadline time.Time) (transport.NodeID, error) {
 	s.mu.RLock()
 	_, local := s.activations[ref]
 	s.mu.RUnlock()
@@ -528,10 +822,13 @@ func (s *System) locate(ref Ref, place bool) (transport.NodeID, error) {
 	}
 	// Remote directory lookup (control RPC).
 	var node string
-	err := s.controlCall(owner, ctlDirLookup, dirRequest{
+	err := s.controlCallT(owner, ctlDirLookup, dirRequest{
 		Type: ref.Type, Key: ref.Key, Suggest: string(s.Node()), Place: place,
-	}, &node)
+	}, &node, s.attemptTimeout(deadline))
 	if err != nil {
+		if errors.Is(err, ErrTimeout) && !s.cfg.DisableFailover && s.PeerStateOf(owner) != PeerAlive {
+			return "", fmt.Errorf("%w: directory owner %s: %w", errPeerDown, owner, err)
+		}
 		return "", err
 	}
 	n := transport.NodeID(node)
@@ -539,27 +836,48 @@ func (s *System) locate(ref Ref, place bool) (transport.NodeID, error) {
 	return n, nil
 }
 
-// dirLookupLocal consults/updates this node's owned directory entries.
+// dirLookupLocal consults/updates this node's owned directory entries. A
+// recorded placement homed on a node now declared dead is expunged and
+// re-placed among live peers — the failover path for entries created (or
+// re-learned) after the death purge.
 func (s *System) dirLookupLocal(ref Ref, suggest transport.NodeID, place bool) (transport.NodeID, error) {
+	dead := func(n transport.NodeID) bool {
+		return !s.cfg.DisableFailover && s.PeerStateOf(n) == PeerDead
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if n, ok := s.dirEntries[ref]; ok {
-		return n, nil
+	if e, ok := s.dirEntries[ref]; ok {
+		if !dead(e.node) {
+			return e.node, nil
+		}
+		delete(s.dirEntries, ref)
+		delete(s.locCache, ref)
+		s.failures.FailoverPurged.Add(1)
 	}
 	if !place {
 		return "", fmt.Errorf("actor: %s not registered", ref)
 	}
 	var n transport.NodeID
-	switch s.cfg.Placement {
-	case PlaceLocal:
+	if s.cfg.Placement == PlaceLocal && !dead(suggest) {
 		n = suggest
-	default:
+	} else {
+		live := s.livePeers()
 		s.rngMu.Lock()
-		n = s.peers[s.rng.Intn(len(s.peers))]
+		n = live[s.rng.Intn(len(live))]
 		s.rngMu.Unlock()
 	}
-	s.dirEntries[ref] = n
+	s.dirEntries[ref] = dirEntry{node: n}
 	return n, nil
+}
+
+// dirEntry is one owned directory record: where the actor lives, and the
+// migration epoch of the incarnation that registered it. Updates carry the
+// epoch so a delayed retry of an older migration's update loses to the
+// newer state it races with (background retries make updates arrive out of
+// order under loss).
+type dirEntry struct {
+	node  transport.NodeID
+	epoch uint64
 }
 
 // dirRequest is the directory control payload.
@@ -568,10 +886,18 @@ type dirRequest struct {
 	Suggest   string
 	Place     bool
 	NewNode   string // for updates
+	Epoch     uint64 // migration epoch of the update's incarnation
 }
 
-// controlCall is a generic request/response over KindControl envelopes.
+// controlCall is a generic request/response over KindControl envelopes,
+// bounded by the configured CallTimeout.
 func (s *System) controlCall(node transport.NodeID, verb string, args, reply interface{}) error {
+	return s.controlCallT(node, verb, args, reply, s.cfg.CallTimeout)
+}
+
+// controlCallT is controlCall with an explicit timeout (heartbeat pings and
+// deadline-bounded directory lookups use shorter budgets).
+func (s *System) controlCallT(node transport.NodeID, verb string, args, reply interface{}, timeout time.Duration) error {
 	data, err := codec.Marshal(args)
 	if err != nil {
 		return err
@@ -600,6 +926,8 @@ func (s *System) controlCall(node transport.NodeID, verb string, args, reply int
 	if err := s.tr.Send(node, env); err != nil {
 		return err
 	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case r := <-ch:
 		if r.Err != "" {
@@ -609,8 +937,10 @@ func (s *System) controlCall(node transport.NodeID, verb string, args, reply int
 			return codec.Unmarshal(r.Payload, reply)
 		}
 		return nil
-	case <-time.After(s.cfg.CallTimeout):
+	case <-timer.C:
 		return fmt.Errorf("%w: control %s @%s", ErrTimeout, verb, node)
+	case <-s.done:
+		return ErrStopped
 	}
 }
 
@@ -642,8 +972,14 @@ func (s *System) handleControlVerb(verb string, payload []byte, from transport.N
 		}
 		ref := Ref{Type: req.Type, Key: req.Key}
 		s.mu.Lock()
-		s.dirEntries[ref] = transport.NodeID(req.NewNode)
-		s.locCache[ref] = transport.NodeID(req.NewNode)
+		// Epoch guard: updates arrive out of order (lost ones are retried in
+		// the background for seconds), so a stale retry from an older
+		// migration must not rewind a newer entry — nor stomp the owner's
+		// location cache with a pointer the actor already left behind.
+		if cur, ok := s.dirEntries[ref]; !ok || req.Epoch >= cur.epoch {
+			s.dirEntries[ref] = dirEntry{node: transport.NodeID(req.NewNode), epoch: req.Epoch}
+			s.locCache[ref] = transport.NodeID(req.NewNode)
+		}
 		s.mu.Unlock()
 		return codec.Marshal(ctlPlacementOK)
 	case ctlDirRemove:
@@ -663,6 +999,16 @@ func (s *System) handleControlVerb(verb string, payload []byte, from transport.N
 		return s.handleMigrateDrop(payload)
 	case ctlExchange:
 		return s.handleExchange(payload, from)
+	case ctlPing:
+		var sender string
+		if err := codec.Unmarshal(payload, &sender); err != nil {
+			return nil, err
+		}
+		// Receiving a ping is proof of life for the sender, whatever our
+		// own pings to it have been doing (asymmetric partitions heal both
+		// views faster this way).
+		s.markPeerAlive(transport.NodeID(sender))
+		return codec.Marshal(ctlPlacementOK)
 	default:
 		return nil, fmt.Errorf("actor: unknown control verb %q", verb)
 	}

@@ -68,6 +68,12 @@ func NewFrameReader(r io.Reader) *FrameReader {
 	return &FrameReader{r: bufio.NewReaderSize(r, frameBufSize)}
 }
 
+// frameAllocChunk bounds how much scratch the reader grows per read step:
+// a corrupt length prefix claiming a near-MaxFrameSize frame must prove the
+// stream actually carries the bytes, chunk by chunk, before the full
+// allocation happens.
+const frameAllocChunk = 1 << 20
+
 // ReadFrame returns the next frame body. The returned slice is the
 // reader's scratch buffer: it is valid only until the next ReadFrame, and
 // anything retained from it (e.g. an envelope payload) must be copied out.
@@ -76,12 +82,34 @@ func (f *FrameReader) ReadFrame() ([]byte, error) {
 	if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("codec: frame of %d bytes exceeds limit", n)
 	}
-	if cap(f.buf) < int(n) {
-		f.buf = make([]byte, n)
+	if cap(f.buf) < n {
+		if n <= frameAllocChunk {
+			f.buf = make([]byte, n)
+		} else {
+			// Large frame: grow the scratch buffer incrementally while the
+			// bytes arrive, so a lying length prefix on a short stream costs
+			// at most one chunk of allocation.
+			if cap(f.buf) < frameAllocChunk {
+				f.buf = make([]byte, frameAllocChunk)
+			}
+			for read := 0; read < n; {
+				if read == cap(f.buf) {
+					grown := make([]byte, min(cap(f.buf)*2, n))
+					copy(grown, f.buf[:read])
+					f.buf = grown
+				}
+				step := min(cap(f.buf), n) - read
+				if _, err := io.ReadFull(f.r, f.buf[read:read+step]); err != nil {
+					return nil, err
+				}
+				read += step
+			}
+			return f.buf[:n], nil
+		}
 	}
 	buf := f.buf[:n]
 	if _, err := io.ReadFull(f.r, buf); err != nil {

@@ -213,6 +213,14 @@ func (o *Optimizer) partitionLoop() {
 		case <-o.stop:
 			return
 		case <-t.C:
+			if o.clusterUnstable() {
+				// A peer is suspect: hold partition exchanges until the
+				// detector settles (it either recovers to alive, or dies and
+				// ExchangeRound routes around it). Migrating actors toward —
+				// or negotiating with — a possibly-failing node just strands
+				// state behind the failover.
+				continue
+			}
 			moved, err := o.sys.ExchangeRound(o.opts.PartitionOpts, o.opts.RejectWindow)
 			o.mu.Lock()
 			o.exchangeRounds++
@@ -222,6 +230,18 @@ func (o *Optimizer) partitionLoop() {
 			o.mu.Unlock()
 		}
 	}
+}
+
+// clusterUnstable reports whether any peer sits in the detector's Suspect
+// state — the ambiguous window where exchanges are paused. Alive and Dead
+// peers are both "stable": ExchangeRound itself skips dead ones.
+func (o *Optimizer) clusterUnstable() bool {
+	for _, st := range o.sys.Membership() {
+		if st == actor.PeerSuspect {
+			return true
+		}
+	}
+	return false
 }
 
 func (o *Optimizer) threadLoop() {

@@ -1,0 +1,62 @@
+package metrics
+
+import "sync/atomic"
+
+// FailureCounters aggregates the failure-tolerance events of one node:
+// heartbeat traffic, membership transitions, call retries, duplicate-call
+// absorption, and actor panics. All fields are lock-free atomics — they are
+// bumped on hot paths (every remote call touches the dedup window) — and
+// Snapshot reads them without stopping the world, so counts taken under
+// concurrent traffic are individually exact but not mutually consistent.
+type FailureCounters struct {
+	// HeartbeatsSent counts ping round trips attempted by the detector.
+	HeartbeatsSent atomic.Uint64
+	// HeartbeatMisses counts ping round trips that failed or timed out.
+	HeartbeatMisses atomic.Uint64
+	// Suspects counts alive→suspect membership transitions observed.
+	Suspects atomic.Uint64
+	// Deaths counts suspect→dead membership transitions observed.
+	Deaths atomic.Uint64
+	// Revivals counts dead→alive transitions (a partitioned peer healed).
+	Revivals atomic.Uint64
+	// Retries counts call attempts beyond the first (safe re-sends under
+	// the call-timeout budget).
+	Retries atomic.Uint64
+	// DedupHits counts duplicate call deliveries absorbed by the reply
+	// dedup window instead of re-executing a turn.
+	DedupHits atomic.Uint64
+	// Panics counts actor turns that panicked and were isolated.
+	Panics atomic.Uint64
+	// FailoverPurged counts directory entries and cache entries expunged
+	// because their node was declared dead.
+	FailoverPurged atomic.Uint64
+}
+
+// FailureSnapshot is a plain-value copy of FailureCounters, suitable for
+// JSON rendering on debug endpoints.
+type FailureSnapshot struct {
+	HeartbeatsSent  uint64 `json:"heartbeats_sent"`
+	HeartbeatMisses uint64 `json:"heartbeat_misses"`
+	Suspects        uint64 `json:"suspects"`
+	Deaths          uint64 `json:"deaths"`
+	Revivals        uint64 `json:"revivals"`
+	Retries         uint64 `json:"retries"`
+	DedupHits       uint64 `json:"dedup_hits"`
+	Panics          uint64 `json:"panics"`
+	FailoverPurged  uint64 `json:"failover_purged"`
+}
+
+// Snapshot copies the current counter values.
+func (c *FailureCounters) Snapshot() FailureSnapshot {
+	return FailureSnapshot{
+		HeartbeatsSent:  c.HeartbeatsSent.Load(),
+		HeartbeatMisses: c.HeartbeatMisses.Load(),
+		Suspects:        c.Suspects.Load(),
+		Deaths:          c.Deaths.Load(),
+		Revivals:        c.Revivals.Load(),
+		Retries:         c.Retries.Load(),
+		DedupHits:       c.DedupHits.Load(),
+		Panics:          c.Panics.Load(),
+		FailoverPurged:  c.FailoverPurged.Load(),
+	}
+}

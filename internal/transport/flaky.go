@@ -1,14 +1,27 @@
 package transport
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 )
 
-// Flaky wraps a Transport with deterministic fault injection — message
-// drops and extra delays — for testing how the runtime behaves under an
-// unreliable network (timeouts, redirect retries, exchange failures).
+// Flaky wraps a Transport with deterministic fault injection for testing how
+// the runtime behaves under an unreliable network (timeouts, redirect
+// retries, exchange failures, failover). Two fault families are supported:
+//
+//   - Probabilistic: message drops (SetDrop) and extra delays (SetDelay),
+//     applied to outbound sends only.
+//   - Deterministic runtime controls: Partition(peer)/Heal(peer) sever and
+//     restore both directions of traffic with one peer, and Kill()/Revive()
+//     sever and restore all traffic — simulating this node crashing (or
+//     being cut off) while its process keeps running.
+//
+// Partitioned/killed outbound sends fail with ErrUnreachable (as a TCP dial
+// to a dead host would); inbound envelopes from a partitioned peer — or any
+// envelope while killed — are silently discarded before the handler sees
+// them.
 type Flaky struct {
 	inner Transport
 
@@ -18,11 +31,18 @@ type Flaky struct {
 	delayProb float64
 	delay     time.Duration
 	dropped   uint64
+	blocked   map[NodeID]bool
+	killed    bool
+	handler   Handler
 }
 
 // NewFlaky wraps inner; seed fixes the fault sequence.
 func NewFlaky(inner Transport, seed int64) *Flaky {
-	return &Flaky{inner: inner, rng: rand.New(rand.NewSource(seed))}
+	return &Flaky{
+		inner:   inner,
+		rng:     rand.New(rand.NewSource(seed)),
+		blocked: make(map[NodeID]bool),
+	}
 }
 
 // SetDrop makes each Send vanish with probability p (the send "succeeds"
@@ -41,7 +61,39 @@ func (f *Flaky) SetDelay(p float64, d time.Duration) {
 	f.mu.Unlock()
 }
 
-// Dropped reports how many envelopes were swallowed.
+// Partition severs both directions of traffic with peer: outbound sends
+// fail with ErrUnreachable, inbound envelopes from peer are discarded.
+func (f *Flaky) Partition(peer NodeID) {
+	f.mu.Lock()
+	f.blocked[peer] = true
+	f.mu.Unlock()
+}
+
+// Heal restores traffic with a partitioned peer.
+func (f *Flaky) Heal(peer NodeID) {
+	f.mu.Lock()
+	delete(f.blocked, peer)
+	f.mu.Unlock()
+}
+
+// Kill severs all traffic in both directions, simulating this node dying
+// (from the cluster's perspective) while the local process keeps running.
+func (f *Flaky) Kill() {
+	f.mu.Lock()
+	f.killed = true
+	f.mu.Unlock()
+}
+
+// Revive undoes Kill. Per-peer partitions installed with Partition remain
+// until healed individually.
+func (f *Flaky) Revive() {
+	f.mu.Lock()
+	f.killed = false
+	f.mu.Unlock()
+}
+
+// Dropped reports how many envelopes were swallowed (probabilistic drops
+// plus inbound envelopes discarded by partitions/kill).
 func (f *Flaky) Dropped() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -51,8 +103,27 @@ func (f *Flaky) Dropped() uint64 {
 // Node implements Transport.
 func (f *Flaky) Node() NodeID { return f.inner.Node() }
 
-// SetHandler implements Transport.
-func (f *Flaky) SetHandler(h Handler) { f.inner.SetHandler(h) }
+// SetHandler implements Transport. The handler is installed behind an
+// inbound filter so partitions and kills cut receiving too, not just
+// sending.
+func (f *Flaky) SetHandler(h Handler) {
+	f.mu.Lock()
+	f.handler = h
+	f.mu.Unlock()
+	f.inner.SetHandler(func(env *Envelope) {
+		f.mu.Lock()
+		blocked := f.killed || f.blocked[env.From]
+		handler := f.handler
+		if blocked {
+			f.dropped++
+		}
+		f.mu.Unlock()
+		if blocked || handler == nil {
+			return
+		}
+		handler(env)
+	})
+}
 
 // Close implements Transport.
 func (f *Flaky) Close() error { return f.inner.Close() }
@@ -60,6 +131,10 @@ func (f *Flaky) Close() error { return f.inner.Close() }
 // Send implements Transport with fault injection.
 func (f *Flaky) Send(to NodeID, env *Envelope) error {
 	f.mu.Lock()
+	if f.killed || f.blocked[to] {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s (injected partition)", ErrUnreachable, to)
+	}
 	drop := f.rng.Float64() < f.dropProb
 	delayed := f.delay > 0 && f.rng.Float64() < f.delayProb
 	delay := f.delay

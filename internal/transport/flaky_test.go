@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// flakyPair wires two in-memory nodes, node a wrapped in a Flaky, with
+// channel handlers so tests can observe (or time out waiting for) delivery.
+func flakyPair(t *testing.T) (fa *Flaky, b Transport, atA, atB chan *Envelope) {
+	t.Helper()
+	net := NewNetwork(0)
+	fa = NewFlaky(net.Join("a"), 1)
+	b = net.Join("b")
+	atA = make(chan *Envelope, 16)
+	atB = make(chan *Envelope, 16)
+	fa.SetHandler(func(env *Envelope) { atA <- env })
+	b.SetHandler(func(env *Envelope) { atB <- env })
+	return fa, b, atA, atB
+}
+
+func mustArrive(t *testing.T, ch chan *Envelope, who string) *Envelope {
+	t.Helper()
+	select {
+	case env := <-ch:
+		return env
+	case <-time.After(2 * time.Second):
+		t.Fatalf("no envelope arrived at %s", who)
+		return nil
+	}
+}
+
+func mustNotArrive(t *testing.T, ch chan *Envelope, who string) {
+	t.Helper()
+	select {
+	case env := <-ch:
+		t.Fatalf("unexpected envelope at %s: %+v", who, env)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestFlakyPartitionBothDirections(t *testing.T) {
+	fa, b, atA, atB := flakyPair(t)
+
+	if err := fa.Send("b", &Envelope{Kind: KindCall, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mustArrive(t, atB, "b")
+	if err := b.Send("a", &Envelope{Kind: KindReply, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mustArrive(t, atA, "a")
+
+	fa.Partition("b")
+	if err := fa.Send("b", &Envelope{Kind: KindCall, ID: 2}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("partitioned send err = %v, want ErrUnreachable", err)
+	}
+	// Inbound is cut too: b's send succeeds (the network accepted it) but
+	// a's handler never fires.
+	if err := b.Send("a", &Envelope{Kind: KindReply, ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	mustNotArrive(t, atA, "a")
+
+	fa.Heal("b")
+	if err := fa.Send("b", &Envelope{Kind: KindCall, ID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	mustArrive(t, atB, "b")
+	if err := b.Send("a", &Envelope{Kind: KindReply, ID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	mustArrive(t, atA, "a")
+
+	if fa.Dropped() == 0 {
+		t.Error("partition drop not counted")
+	}
+}
+
+func TestFlakyKillRevive(t *testing.T) {
+	fa, b, atA, atB := flakyPair(t)
+
+	fa.Kill()
+	if err := fa.Send("b", &Envelope{Kind: KindCall, ID: 1}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("killed send err = %v, want ErrUnreachable", err)
+	}
+	if err := b.Send("a", &Envelope{Kind: KindCall, ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	mustNotArrive(t, atA, "a")
+
+	fa.Revive()
+	if err := fa.Send("b", &Envelope{Kind: KindCall, ID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	mustArrive(t, atB, "b")
+	if err := b.Send("a", &Envelope{Kind: KindCall, ID: 4}); err != nil {
+		t.Fatal(err)
+	}
+	mustArrive(t, atA, "a")
+}
+
+func TestFlakyKillKeepsPartitions(t *testing.T) {
+	fa, b, atA, _ := flakyPair(t)
+	_ = b
+	fa.Partition("b")
+	fa.Kill()
+	fa.Revive()
+	// Revive undoes only the kill; the per-peer partition persists.
+	if err := fa.Send("b", &Envelope{Kind: KindCall, ID: 1}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("send after revive err = %v, want ErrUnreachable (still partitioned)", err)
+	}
+	fa.Heal("b")
+	if err := fa.Send("b", &Envelope{Kind: KindCall, ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_ = atA
+}
