@@ -2,18 +2,28 @@
 
 GO ?= go
 
-.PHONY: check build test vet race fuzz-smoke bench-msgplane
+.PHONY: check build test vet staticcheck race fuzz-smoke bench-msgplane
 
-# check is the pre-PR gate: vet, build everything, race-test the
-# concurrency-heavy packages (transport, actor, seda, codec), then the full
-# tier-1 suite, then a short fuzz pass over the wire decoders.
-check: vet build race test fuzz-smoke
+# check is the pre-PR gate: vet (+ staticcheck when installed), build
+# everything, race-test the concurrency-heavy packages (transport, actor,
+# seda, codec), then the full tier-1 suite, then a short fuzz pass over the
+# wire decoders.
+check: vet staticcheck build race test fuzz-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is on PATH (CI installs a pinned
+# version; offline dev environments skip it rather than fail).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
 
 race:
 	$(GO) test -race -count=1 ./internal/transport/... ./internal/actor/... ./internal/seda/... ./internal/codec/...

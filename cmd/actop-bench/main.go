@@ -8,9 +8,11 @@
 //	actop-bench [flags] <experiment>
 //
 // Experiments: section3, fig4, fig5, fig7, fig10a, fig10b (alias fig10c),
-// fig10d (alias fig10e), fig10f, fig11a, fig11b, throughput, all. The extra
-// msgplane subcommand micro-benchmarks the real runtime's message plane
-// (codec, TCP transport, local/remote calls) instead of a paper figure.
+// fig10d (alias fig10e), fig10f, fig11a, fig11b, throughput, all. Two extra
+// subcommands target the real runtime instead of a paper figure: msgplane
+// micro-benchmarks the message plane (codec, TCP transport, local/remote
+// calls), and trace prints a live three-node cluster's end-to-end latency
+// decomposition assembled from hop-carried call tracing.
 //
 // By default experiments run at "quick" scale — the same per-server
 // operating point as the paper (load/server, CPU utilization) with a
@@ -128,6 +130,8 @@ func main() {
 			fmt.Print(experiments.RunThroughput(base, throughputLoads).Render())
 		case "msgplane":
 			runMsgPlane(*measure)
+		case "trace":
+			runTraceBench(*measure)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			usage()
@@ -165,7 +169,8 @@ experiments:
   fig11b      combined optimizations
   throughput  peak throughput baseline vs ActOp
   msgplane    real-runtime message-plane micro-benchmarks (codec/TCP/calls)
-  all         every figure above (not msgplane)
+  trace       live-cluster latency decomposition from hop-carried tracing
+  all         every figure above (not msgplane/trace)
 
 flags:`)
 	flag.PrintDefaults()

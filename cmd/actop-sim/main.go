@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"actop/internal/experiments"
+	"actop/internal/metrics"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 		fast    = flag.Bool("fast", true, "fast controller cadences for short runs")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		series  = flag.Bool("series", false, "print the remote-fraction/CPU time series")
+		cdf     = flag.Bool("cdf", false, "print end-to-end and actor-call latency CDFs")
 	)
 	flag.Parse()
 
@@ -42,5 +44,19 @@ func main() {
 		fmt.Println(r.RemoteSeries.Render())
 		fmt.Println(r.CPUSeries.Render())
 	}
+	if *cdf {
+		printCDF("end-to-end", r.LatencyCDF)
+		printCDF("actor-call", r.ActorCallCDF)
+	}
 	fmt.Printf("simulated %v of cluster time in %v\n", *warmup+*measure, time.Since(start).Round(time.Millisecond))
+}
+
+// printCDF renders one latency CDF as percentile rows (the simulated
+// counterpart of the live decomposition printed by actop-bench trace).
+func printCDF(name string, points []metrics.CDFPoint) {
+	fmt.Printf("%s latency CDF (%d points):\n", name, len(points))
+	fmt.Printf("  %8s %12s\n", "fraction", "latency")
+	for _, p := range points {
+		fmt.Printf("  %8.3f %12v\n", p.Fraction, p.Latency.Round(time.Microsecond))
+	}
 }

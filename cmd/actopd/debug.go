@@ -5,10 +5,13 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
 
 	"actop/internal/actor"
 	"actop/internal/core"
 	"actop/internal/metrics"
+	"actop/internal/trace"
 )
 
 // debugPayload is the /debug/actop JSON document: node identity and
@@ -18,6 +21,11 @@ import (
 type debugPayload struct {
 	Node  string   `json:"node"`
 	Peers []string `json:"peers"`
+
+	// Server identity in time: when this snapshot was taken and how long
+	// the process has been up (lets dashboards detect restarts and skew).
+	Now           time.Time `json:"now"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
 
 	Activations   int    `json:"activations"`
 	CallsLocal    uint64 `json:"calls_local"`
@@ -41,14 +49,30 @@ type debugPayload struct {
 	Threads *core.Status `json:"thread_controller,omitempty"`
 }
 
-// newDebugMux serves /debug/actop (controller + node introspection) and the
-// standard pprof endpoints under /debug/pprof/.
-func newDebugMux(sys *actor.System, opt *core.Optimizer) *http.ServeMux {
+// tracesPayload is the /debug/actop/traces JSON document. Without a ?trace=
+// selector it lists this node's most recent completed spans; with one it
+// carries the cluster-assembled call tree for that trace id.
+type tracesPayload struct {
+	Node     string            `json:"node"`
+	Recorded uint64            `json:"spans_recorded"`
+	Spans    []trace.Span      `json:"spans,omitempty"`
+	TraceID  uint64            `json:"trace_id,omitempty"`
+	Trees    []*trace.TreeNode `json:"trees,omitempty"`
+}
+
+// newDebugMux serves /debug/actop (controller + node introspection),
+// /debug/actop/traces (completed spans and cluster trace assembly),
+// /metrics (Prometheus text exposition), and the standard pprof endpoints
+// under /debug/pprof/.
+func newDebugMux(sys *actor.System, opt *core.Optimizer, reg *metrics.Registry, started time.Time) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/actop", func(w http.ResponseWriter, r *http.Request) {
 		st := sys.Stats()
+		now := time.Now()
 		p := debugPayload{
 			Node:          string(sys.Node()),
+			Now:           now,
+			UptimeSeconds: now.Sub(started).Seconds(),
 			Activations:   st.Activations,
 			CallsLocal:    st.CallsLocal,
 			CallsRemote:   st.CallsRemote,
@@ -79,6 +103,38 @@ func newDebugMux(sys *actor.System, opt *core.Optimizer) *http.ServeMux {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(p)
 	})
+	mux.HandleFunc("/debug/actop/traces", func(w http.ResponseWriter, r *http.Request) {
+		ring := sys.TraceRing()
+		p := tracesPayload{Node: string(sys.Node()), Recorded: ring.Recorded()}
+		if sel := r.URL.Query().Get("trace"); sel != "" {
+			id, err := strconv.ParseUint(sel, 0, 64)
+			if err != nil {
+				// Bare hex (the form trace ids are logged in) as a fallback.
+				if id, err = strconv.ParseUint(sel, 16, 64); err != nil {
+					http.Error(w, "bad trace id: "+sel, http.StatusBadRequest)
+					return
+				}
+			}
+			p.TraceID = id
+			p.Trees = sys.ClusterTrace(id)
+		} else {
+			limit := 100
+			if ls := r.URL.Query().Get("limit"); ls != "" {
+				if n, err := strconv.Atoi(ls); err == nil && n > 0 {
+					limit = n
+				}
+			}
+			p.Spans = ring.Snapshot(limit)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Write(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -89,11 +145,12 @@ func newDebugMux(sys *actor.System, opt *core.Optimizer) *http.ServeMux {
 
 // serveDebug starts the debug server on addr (non-blocking); failures are
 // logged, not fatal — the node serves traffic regardless.
-func serveDebug(addr string, sys *actor.System, opt *core.Optimizer) {
+func serveDebug(addr string, sys *actor.System, opt *core.Optimizer, reg *metrics.Registry) {
+	mux := newDebugMux(sys, opt, reg, time.Now())
 	go func() {
-		if err := http.ListenAndServe(addr, newDebugMux(sys, opt)); err != nil {
+		if err := http.ListenAndServe(addr, mux); err != nil {
 			log.Printf("debug server on %s: %v", addr, err)
 		}
 	}()
-	log.Printf("debug endpoints on http://%s/debug/actop (pprof under /debug/pprof/)", addr)
+	log.Printf("debug endpoints on http://%s/debug/actop (traces under /debug/actop/traces, metrics on /metrics, pprof under /debug/pprof/)", addr)
 }

@@ -29,6 +29,7 @@ import (
 	"actop/internal/actor"
 	"actop/internal/codec"
 	"actop/internal/core"
+	"actop/internal/metrics"
 	"actop/internal/transport"
 )
 
@@ -67,7 +68,8 @@ func main() {
 		suspect  = flag.Int("suspect-after", 2, "consecutive missed heartbeats before a peer is suspect")
 		deadAft  = flag.Int("dead-after", 5, "consecutive missed heartbeats before a peer is declared dead")
 		noFail   = flag.Bool("no-failover", false, "disable the failure detector, call retries, and actor failover")
-		debug    = flag.String("debug", "", "serve /debug/actop + pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+		debug    = flag.String("debug", "", "serve /debug/actop, /metrics + pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+		sample   = flag.Float64("trace-sample", 0.01, "fraction of root calls traced for /debug/actop/traces (0 disables)")
 		stats    = flag.Duration("stats", 10*time.Second, "stats logging period")
 		call     = flag.String("call", "", "one-shot: call type/key instead of serving")
 		method   = flag.String("method", "Get", "one-shot method")
@@ -94,6 +96,10 @@ func main() {
 			uniq = append(uniq, p)
 		}
 	}
+	reg := metrics.NewRegistry()
+	started := time.Now()
+	uptime := reg.Gauge("actop_uptime_seconds", "Seconds since this node started.")
+	reg.OnCollect(func(*metrics.Registry) { uptime.Set(time.Since(started).Seconds()) })
 	sys, err := actor.NewSystem(actor.Config{
 		Transport: tr, Peers: uniq, Seed: time.Now().UnixNano(),
 		DisableThreadControl:  *noTune,
@@ -102,6 +108,8 @@ func main() {
 		SuspectAfter:          *suspect,
 		DeadAfter:             *deadAft,
 		DisableFailover:       *noFail,
+		TraceSampleRate:       *sample,
+		Metrics:               reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -133,12 +141,14 @@ func main() {
 
 	var opt *core.Optimizer
 	if !*noActOp {
-		opt = core.NewOptimizer(sys, core.DefaultOptions())
+		opts := core.DefaultOptions()
+		opts.Metrics = reg
+		opt = core.NewOptimizer(sys, opts)
 		opt.Start()
 		defer opt.Stop()
 	}
 	if *debug != "" {
-		serveDebug(*debug, sys, opt)
+		serveDebug(*debug, sys, opt, reg)
 	}
 	log.Printf("actopd serving on %s with %d peers (actop=%v)", tr.Node(), len(uniq), !*noActOp)
 

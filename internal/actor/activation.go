@@ -21,6 +21,10 @@ type invocation struct {
 	argsVal interface{}
 	isVal   bool
 	respond func(data []byte, val interface{}, err error)
+	// trc, when non-nil, marks a traced invocation: the worker records the
+	// mailbox wait and execution time into it before respond fires, and the
+	// turn's Context inherits its trace identity.
+	trc *turnTiming
 }
 
 // activation is one live actor instance with a turn-based mailbox: the
@@ -125,7 +129,18 @@ func (a *activation) drain(s *System) {
 			s.forwardInvocation(a.ref, inv)
 			continue
 		}
-		data, val, err, panicked := a.invoke(&Context{sys: s, self: a.ref}, inv)
+		ctx := &Context{sys: s, self: a.ref}
+		var tstart time.Time
+		if inv.trc != nil {
+			tstart = time.Now()
+			inv.trc.workQueue = tstart.Sub(inv.trc.enqueuedAt)
+			ctx.trc = inv.trc.ctx()
+		}
+		data, val, err, panicked := a.invoke(ctx, inv)
+		if inv.trc != nil {
+			inv.trc.exec = time.Since(tstart)
+			inv.trc.epoch = a.epoch
+		}
 		a.turnMu.Unlock()
 		if panicked {
 			// Panic isolation: the instance may hold corrupt state, so
@@ -251,7 +266,7 @@ func (s *System) forwardInvocation(ref Ref, inv invocation) {
 				return
 			}
 		}
-		data, err, _ := s.dispatchRetry(ref, inv.method, args)
+		data, err, _ := s.dispatchRetry(ref, inv.method, args, nil)
 		inv.respond(data, nil, err)
 	}
 	if !s.trackGo(run) {

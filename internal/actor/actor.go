@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"actop/internal/graph"
+	"actop/internal/metrics"
 	"actop/internal/transport"
 )
 
@@ -147,6 +148,19 @@ type Config struct {
 	// optimizer's ThreadPeriod when set.
 	ThreadControlInterval time.Duration
 
+	// TraceSampleRate is the fraction of root calls that carry a trace
+	// (0 disables tracing entirely — the default; unsampled calls pay one
+	// branch). Sampling is decided once at the root: nested calls inherit
+	// the decision, so rates never compound across hops.
+	TraceSampleRate float64
+	// TraceRingSize caps the per-node ring of completed spans kept for
+	// /debug/actop/traces and cluster trace assembly (default 4096).
+	TraceRingSize int
+	// Metrics, when set, receives the node's per-method call latency and
+	// latency-component summaries (and lets embedders export them via
+	// metrics.Registry.WritePrometheus). Nil disables registry recording.
+	Metrics *metrics.Registry
+
 	// Seed drives placement randomness.
 	Seed int64
 }
@@ -200,6 +214,9 @@ func (c *Config) fill() error {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 10 * time.Millisecond
 	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 4096
+	}
 	return nil
 }
 
@@ -208,6 +225,9 @@ func (c *Config) fill() error {
 type Context struct {
 	sys  *System
 	self Ref
+	// trc carries the executing turn's trace identity so calls made from
+	// the turn join the same trace (nil when the turn is unsampled).
+	trc *traceCtx
 }
 
 // Self reports the receiving actor's reference.
@@ -226,5 +246,5 @@ func (c *Context) Node() transport.NodeID { return c.sys.Node() }
 // thread controller grow the pool from measurements. Deep synchronous
 // call cycles can deadlock, exactly as in Orleans.
 func (c *Context) Call(to Ref, method string, args, reply interface{}) error {
-	return c.sys.call(&c.self, to, method, args, reply)
+	return c.sys.call(&c.self, c.trc, to, method, args, reply)
 }

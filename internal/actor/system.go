@@ -15,6 +15,7 @@ import (
 	"actop/internal/metrics"
 	"actop/internal/partition"
 	"actop/internal/seda"
+	"actop/internal/trace"
 	"actop/internal/transport"
 )
 
@@ -41,6 +42,7 @@ const (
 	ctlMigrateDrop = "migrate.drop"
 	ctlExchange    = "actop.exchange"
 	ctlPing        = "actop.ping"
+	ctlTraces      = "actop.traces"
 	ctlPlacementOK = "ok"
 )
 
@@ -97,6 +99,16 @@ type System struct {
 
 	failures metrics.FailureCounters
 
+	// Tracing plane: the root-call sampling decision, the completed-span
+	// ring, and (when a registry is configured) the per-method latency
+	// series. sampler and spans are always non-nil; the family handles are
+	// nil without a registry, costing one pointer check per call.
+	sampler  *trace.Sampler
+	spans    *trace.Ring
+	callDur  *metrics.SummaryFamily
+	callComp *metrics.SummaryFamily
+	srvDur   *metrics.SummaryFamily
+
 	// Counters (atomic; exported via Stats).
 	callsLocal, callsRemote, migrationsIn, migrationsOut, redirects atomic.Uint64
 }
@@ -124,6 +136,17 @@ func NewSystem(cfg Config) (*System, error) {
 		members:     make(map[transport.NodeID]*memberEntry, len(peers)),
 		dedup:       make(map[dedupKey]*dedupEntry),
 		done:        make(chan struct{}),
+		sampler:     trace.NewSampler(cfg.TraceSampleRate),
+		spans:       trace.NewRing(cfg.TraceRingSize),
+	}
+	s.sampler.Seed(hashNode(cfg.Transport.Node()))
+	if cfg.Metrics != nil {
+		s.callDur = cfg.Metrics.Summary("actop_call_duration_seconds",
+			"actor call round-trip latency by method", "method")
+		s.callComp = cfg.Metrics.Summary("actop_call_component_seconds",
+			"traced call latency decomposition by method and component", "method", "component")
+		s.srvDur = cfg.Metrics.Summary("actop_served_call_duration_seconds",
+			"inbound call latency by method, receive to reply enqueue (callee side)", "method")
 	}
 	for _, p := range peers {
 		if p != s.Node() {
@@ -248,13 +271,16 @@ func (s *System) Stats() Stats {
 }
 
 // Call invokes an actor from outside any actor (a frontend/client call).
+// This is where trace sampling is decided: a sampled call carries its trace
+// context on every hop it causes.
 func (s *System) Call(to Ref, method string, args, reply interface{}) error {
-	return s.call(nil, to, method, args, reply)
+	return s.call(nil, nil, to, method, args, reply)
 }
 
 // call is the shared invocation path. from is non-nil for actor→actor
-// calls (monitored as communication edges).
-func (s *System) call(from *Ref, to Ref, method string, args, reply interface{}) error {
+// calls (monitored as communication edges); parent is non-nil when the
+// caller's turn is itself traced, so the nested call joins that trace.
+func (s *System) call(from *Ref, parent *traceCtx, to Ref, method string, args, reply interface{}) error {
 	s.mu.RLock()
 	stopped := s.stopped
 	_, known := s.types[to.Type]
@@ -268,20 +294,44 @@ func (s *System) call(from *Ref, to Ref, method string, args, reply interface{})
 	if from != nil {
 		s.observeEdge(*from, to)
 	}
+	tctx := parent
+	if tctx == nil && s.sampler.Sample() {
+		tctx = &traceCtx{traceID: s.sampler.ID()}
+	}
+	var start time.Time
+	if tctx != nil || s.callDur != nil {
+		start = time.Now()
+	}
+	var sp *trace.Span
+	if tctx != nil {
+		sp = &trace.Span{
+			TraceID: tctx.traceID, SpanID: s.sampler.ID(), ParentID: tctx.parentID,
+			Node: string(s.Node()), Kind: "client", Actor: to.String(), Method: method,
+			Start: start,
+		}
+	}
 	// Zero-copy local fast path: no serialization when the callee is
 	// co-located and both sides opt in (ValueReceiver + codec.Copier).
-	if handled, err := s.callLocalValue(to, method, args, reply); handled {
+	if handled, err := s.callLocalValue(sp, to, method, args, reply); handled {
+		s.finishCall(sp, start, method, err)
 		return err
 	}
 	var data []byte
 	if args != nil {
 		var err error
+		ms := start
+		if sp != nil {
+			ms = time.Now()
+		}
 		data, err = codec.MarshalAppend(codec.GetBuffer(), args)
 		if err != nil {
 			return err
 		}
+		if sp != nil {
+			sp.Serialize = time.Since(ms)
+		}
 	}
-	result, err, recyclable := s.dispatchRetry(to, method, data)
+	result, err, recyclable := s.dispatchRetry(to, method, data, sp)
 	if data != nil && recyclable {
 		// The callee's turn is over (reply received, or the call was
 		// rejected before delivery), so no reference to the args buffer
@@ -291,15 +341,24 @@ func (s *System) call(from *Ref, to Ref, method string, args, reply interface{})
 		codec.PutBuffer(data)
 	}
 	if err != nil {
+		s.finishCall(sp, start, method, err)
 		return err
 	}
 	var derr error
 	if reply != nil {
+		ms := start
+		if sp != nil {
+			ms = time.Now()
+		}
 		derr = codec.Unmarshal(result, reply)
+		if sp != nil {
+			sp.Serialize += time.Since(ms)
+		}
 	}
 	if result != nil {
 		codec.PutBuffer(result)
 	}
+	s.finishCall(sp, start, method, derr)
 	return derr
 }
 
@@ -316,8 +375,10 @@ func marshalArgs(args interface{}) ([]byte, error) {
 // arguments travel by CopyValue, the invocation performs no serialization
 // at all — one deep copy in, one deep copy out, isolation preserved (§2).
 // handled=false falls back to the encoded path (remote callee, missing
-// interfaces, or a placement race — all handled there).
-func (s *System) callLocalValue(to Ref, method string, args, reply interface{}) (bool, error) {
+// interfaces, or a placement race — all handled there). A traced call marks
+// sp as a "local" span and measures its mailbox wait and execution through
+// the turn timing.
+func (s *System) callLocalValue(sp *trace.Span, to Ref, method string, args, reply interface{}) (bool, error) {
 	var argsCopy interface{}
 	if args != nil {
 		c, ok := args.(codec.Copier)
@@ -334,6 +395,11 @@ func (s *System) callLocalValue(to Ref, method string, args, reply interface{}) 
 		return false, nil
 	}
 	s.callsLocal.Add(1)
+	var trc *turnTiming
+	if sp != nil {
+		sp.Kind = "local"
+		trc = &turnTiming{traceID: sp.TraceID, spanID: sp.SpanID, enqueuedAt: time.Now()}
+	}
 	type outcome struct {
 		data []byte
 		val  interface{}
@@ -344,12 +410,16 @@ func (s *System) callLocalValue(to Ref, method string, args, reply interface{}) 
 		method:  method,
 		argsVal: argsCopy,
 		isVal:   true,
+		trc:     trc,
 		respond: func(data []byte, val interface{}, err error) {
 			ch <- outcome{data: data, val: val, err: err}
 		},
 	}, s)
 	select {
 	case out := <-ch:
+		if sp != nil {
+			sp.WorkQueue, sp.Exec, sp.Epoch = trc.workQueue, trc.exec, trc.epoch
+		}
 		switch {
 		case out.err != nil:
 			return true, out.err
@@ -362,6 +432,8 @@ func (s *System) callLocalValue(to Ref, method string, args, reply interface{}) 
 		}
 		return true, nil
 	case <-time.After(s.cfg.CallTimeout):
+		// Do not read trc here: the turn may still be running and writing
+		// it. The span keeps zero components and records the timeout.
 		return true, fmt.Errorf("%w: %s.%s", ErrTimeout, to, method)
 	}
 }
@@ -374,17 +446,17 @@ func (s *System) callLocalValue(to Ref, method string, args, reply interface{}) 
 // the callee can recognize re-sends. recyclable reports whether the args
 // buffer is provably unreferenced (single attempt, no timeout) and may
 // return to the pool.
-func (s *System) dispatchRetry(to Ref, method string, args []byte) (res []byte, err error, recyclable bool) {
+func (s *System) dispatchRetry(to Ref, method string, args []byte, sp *trace.Span) (res []byte, err error, recyclable bool) {
 	deadline := time.Now().Add(s.cfg.CallTimeout)
 	callID := s.nextID.Add(1)
 	if s.cfg.DisableFailover {
-		res, err = s.dispatch(to, method, args, 0, callID, deadline)
+		res, err = s.dispatch(to, method, args, 0, callID, deadline, sp)
 		return res, err, !errors.Is(err, ErrTimeout)
 	}
 	backoff := s.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		start := time.Now()
-		res, err = s.dispatch(to, method, args, 0, callID, deadline)
+		res, err = s.dispatch(to, method, args, 0, callID, deadline, sp)
 		if err == nil {
 			return res, nil, attempt == 0
 		}
@@ -413,6 +485,9 @@ func (s *System) dispatchRetry(to Ref, method string, args []byte) (res []byte, 
 			return nil, err, false // budget exhausted
 		}
 		s.failures.Retries.Add(1)
+		if sp != nil {
+			sp.Retries++
+		}
 		if wait > 0 {
 			select {
 			case <-time.After(wait):
@@ -464,7 +539,7 @@ func (s *System) attemptTimeout(deadline time.Time) time.Duration {
 }
 
 // dispatch routes one encoded invocation, following redirects.
-func (s *System) dispatch(to Ref, method string, args []byte, depth int, callID uint64, deadline time.Time) ([]byte, error) {
+func (s *System) dispatch(to Ref, method string, args []byte, depth int, callID uint64, deadline time.Time, sp *trace.Span) ([]byte, error) {
 	if depth > 3 {
 		return nil, fmt.Errorf("actor: too many redirects for %s", to)
 	}
@@ -474,7 +549,7 @@ func (s *System) dispatch(to Ref, method string, args []byte, depth int, callID 
 	}
 	if node == s.Node() {
 		s.callsLocal.Add(1)
-		return s.invokeLocal(to, method, args, deadline)
+		return s.invokeLocal(to, method, args, deadline, sp)
 	}
 	if !s.cfg.DisableFailover && s.PeerStateOf(node) == PeerDead {
 		// Fail fast instead of waiting out a timeout against a node the
@@ -483,13 +558,16 @@ func (s *System) dispatch(to Ref, method string, args []byte, depth int, callID 
 		return nil, fmt.Errorf("%w: %s is dead", errPeerDown, node)
 	}
 	s.callsRemote.Add(1)
-	res, err := s.remoteCall(node, to, method, args, callID, s.attemptTimeout(deadline))
+	res, err := s.remoteCall(node, to, method, args, callID, s.attemptTimeout(deadline), sp)
 	if err != nil {
 		var redir redirectError
 		if errors.As(err, &redir) {
 			s.redirects.Add(1)
+			if sp != nil {
+				sp.Redirects++
+			}
 			s.cachePut(to, redir.node)
-			return s.dispatch(to, method, args, depth+1, callID, deadline)
+			return s.dispatch(to, method, args, depth+1, callID, deadline, sp)
 		}
 		if errors.Is(err, ErrTimeout) && s.PeerStateOf(node) != PeerAlive {
 			return nil, fmt.Errorf("%w: %w", errPeerDown, err)
@@ -507,7 +585,7 @@ func (e redirectError) Error() string { return "actor: redirected to " + string(
 // demand), synchronously from the caller's perspective. The wait runs to
 // the caller's full deadline — local execution has no lost-message failure
 // mode, so chunked attempts would only risk double-enqueueing the turn.
-func (s *System) invokeLocal(to Ref, method string, args []byte, deadline time.Time) ([]byte, error) {
+func (s *System) invokeLocal(to Ref, method string, args []byte, deadline time.Time, sp *trace.Span) ([]byte, error) {
 	act, err := s.activationFor(to, true)
 	if err != nil {
 		return nil, err
@@ -523,6 +601,11 @@ func (s *System) invokeLocal(to Ref, method string, args []byte, deadline time.T
 		}
 		return nil, redirectError{node: node}
 	}
+	var trc *turnTiming
+	if sp != nil {
+		sp.Kind = "local"
+		trc = &turnTiming{traceID: sp.TraceID, spanID: sp.SpanID, enqueuedAt: time.Now()}
+	}
 	type outcome struct {
 		data []byte
 		err  error
@@ -531,6 +614,7 @@ func (s *System) invokeLocal(to Ref, method string, args []byte, deadline time.T
 	act.enqueue(invocation{
 		method: method,
 		args:   args,
+		trc:    trc,
 		respond: func(data []byte, _ interface{}, err error) {
 			ch <- outcome{data: data, err: err}
 		},
@@ -539,8 +623,12 @@ func (s *System) invokeLocal(to Ref, method string, args []byte, deadline time.T
 	defer timer.Stop()
 	select {
 	case out := <-ch:
+		if sp != nil {
+			sp.WorkQueue, sp.Exec, sp.Epoch = trc.workQueue, trc.exec, trc.epoch
+		}
 		return out.data, out.err
 	case <-timer.C:
+		// trc stays unread: the turn may still be running and writing it.
 		return nil, fmt.Errorf("%w: %s.%s", ErrTimeout, to, method)
 	case <-s.done:
 		return nil, ErrStopped
@@ -552,7 +640,7 @@ func (s *System) invokeLocal(to Ref, method string, args []byte, deadline time.T
 // retries of one logical call share it (the callee's dedup window keys on
 // it); concurrent attempts cannot overlap because attempts are sequential
 // within dispatchRetry.
-func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args []byte, id uint64, timeout time.Duration) ([]byte, error) {
+func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args []byte, id uint64, timeout time.Duration, sp *trace.Span) ([]byte, error) {
 	ch := make(chan *transport.Envelope, 1)
 	s.pendMu.Lock()
 	s.pending[id] = ch
@@ -568,22 +656,65 @@ func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args [
 		ActorType: to.Type, ActorKey: to.Key,
 		Method: method, Payload: args,
 	}
-	sendErr := make(chan error, 1)
-	if err := s.sendStage.Submit(func() { sendErr <- s.tr.Send(node, env) }); err != nil {
+	type sendOutcome struct {
+		err  error
+		wait time.Duration
+	}
+	sendCh := make(chan sendOutcome, 1)
+	var serr error
+	if sp != nil {
+		// Traced attempt: the hop context rides the envelope, and the send
+		// stage reports the envelope's queue wait (measured anyway for the
+		// stage estimators) back through the channel — never by writing the
+		// span from the send task, which the caller may have timed out on.
+		env.Trace = &transport.Trace{TraceID: sp.TraceID, SpanID: sp.SpanID, ParentID: sp.ParentID}
+		serr = s.sendStage.SubmitTimed(func(wait time.Duration) {
+			sendCh <- sendOutcome{err: s.tr.Send(node, env), wait: wait}
+		})
+	} else {
+		serr = s.sendStage.Submit(func() { sendCh <- sendOutcome{err: s.tr.Send(node, env)} })
+	}
+	if serr != nil {
 		return nil, fmt.Errorf("%w: send queue", ErrOverloaded)
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	for {
 		select {
-		case err := <-sendErr:
-			if err != nil {
+		case out := <-sendCh:
+			if out.err != nil {
 				// Surface transport failures (ErrUnreachable on a dead
 				// peer's address) instead of waiting out the timeout.
-				return nil, err
+				return nil, out.err
 			}
-			sendErr = nil // delivered; keep waiting for the reply
+			if sp != nil {
+				sp.SendQueue = out.wait
+			}
+			sendCh = nil // delivered; keep waiting for the reply
 		case reply := <-ch:
+			if sp != nil {
+				if sendCh != nil {
+					// The reply can only exist because the send completed,
+					// so the send outcome is already buffered; drain it for
+					// the queue-wait component.
+					select {
+					case out := <-sendCh:
+						if out.err == nil {
+							sp.SendQueue = out.wait
+						}
+					default:
+					}
+				}
+				if rt := reply.Trace; rt != nil {
+					sp.RecvQueue = time.Duration(rt.RecvQueueNs)
+					sp.WorkQueue = time.Duration(rt.WorkQueueNs)
+					sp.Exec = time.Duration(rt.ExecNs)
+					sp.Epoch = rt.Epoch
+					if rt.Flags&transport.TraceFlagDedupHit != 0 {
+						sp.DedupHit = true
+					}
+				}
+			}
 			if reply.Err != "" {
 				if strings.HasPrefix(reply.Err, redirectPrefix) {
 					return nil, redirectError{node: transport.NodeID(strings.TrimPrefix(reply.Err, redirectPrefix))}
@@ -600,10 +731,18 @@ func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args [
 }
 
 // onEnvelope is the transport inbound handler: everything funnels through
-// the receive stage (deserialization/demux — Fig. 2).
+// the receive stage (deserialization/demux — Fig. 2). Traced calls go
+// through the timed submit so their receive-stage queue wait lands in the
+// server span; the untraced path is unchanged.
 func (s *System) onEnvelope(env *transport.Envelope) {
 	e := env
-	if err := s.recvStage.Submit(func() { s.handle(e) }); err != nil {
+	var err error
+	if e.Trace != nil && e.Kind == transport.KindCall {
+		err = s.recvStage.SubmitTimed(func(wait time.Duration) { s.handleCall(e, wait) })
+	} else {
+		err = s.recvStage.Submit(func() { s.handle(e) })
+	}
+	if err != nil {
 		// Receive queue full: reject calls outright (§6.1 saturation).
 		if e.Kind == transport.KindCall || e.Kind == transport.KindControl {
 			s.replyErr(e, ErrOverloaded.Error())
@@ -624,7 +763,7 @@ func (s *System) handle(env *transport.Envelope) {
 			}
 		}
 	case transport.KindCall:
-		s.handleCall(env)
+		s.handleCall(env, 0)
 	case transport.KindControl:
 		s.handleControl(env)
 	}
@@ -698,33 +837,74 @@ func (s *System) dedupResolve(key dedupKey, payload []byte, errStr string) {
 // handleCall delivers a remote invocation to the local activation, or
 // redirects the caller if the actor lives elsewhere now. Deliveries are
 // funneled through the dedup window so a retried call never executes a
-// second turn on this node.
-func (s *System) handleCall(env *transport.Envelope) {
+// second turn on this node. recvWait is the envelope's receive-stage queue
+// wait (zero when untraced); a traced call builds the server span here and
+// ships its measured components back on the reply as pure durations, so
+// cross-node clock skew never enters the decomposition.
+func (s *System) handleCall(env *transport.Envelope, recvWait time.Duration) {
 	to := Ref{Type: env.ActorType, Key: env.ActorKey}
 	from := env.From
 	id := env.ID
 	key := dedupKey{from: from, id: id}
+	tr := env.Trace
+	var sp *trace.Span
+	var trc *turnTiming
+	if tr != nil {
+		sp = &trace.Span{
+			TraceID: tr.TraceID, SpanID: tr.SpanID, ParentID: tr.ParentID,
+			Node: string(s.Node()), Kind: "server", Actor: to.String(), Method: env.Method,
+			Start: time.Now(), RecvQueue: recvWait,
+		}
+		trc = &turnTiming{traceID: tr.TraceID, spanID: tr.SpanID}
+	}
 	if !s.cfg.DisableFailover {
 		proceed, prior := s.dedupBegin(key)
 		if !proceed {
 			s.failures.DedupHits.Add(1)
 			if prior != nil {
-				s.sendReply(from, id, prior.payload, prior.errStr)
+				var rt *transport.Trace
+				if tr != nil {
+					sp.DedupHit = true
+					rt = &transport.Trace{
+						TraceID: tr.TraceID, SpanID: tr.SpanID, ParentID: tr.ParentID,
+						RecvQueueNs: uint64(recvWait), Flags: transport.TraceFlagDedupHit,
+					}
+				}
+				s.sendReply(from, id, prior.payload, prior.errStr, rt, sp)
 			}
 			// Still executing: drop the duplicate; the running turn's
 			// reply answers the caller's current attempt (same id).
 			return
 		}
 	}
+	var srvStart time.Time
+	if s.srvDur != nil {
+		srvStart = time.Now()
+	}
 	respond := func(data []byte, err error) {
 		errStr := ""
 		if err != nil {
 			errStr = err.Error()
 		}
+		if s.srvDur != nil {
+			s.srvDur.Observe(time.Since(srvStart), env.Method)
+		}
 		if !s.cfg.DisableFailover {
 			s.dedupResolve(key, data, errStr)
 		}
-		s.sendReply(from, id, data, errStr)
+		var rt *transport.Trace
+		if tr != nil {
+			// The turn (if any) has completed: trc's timings are ordered
+			// before this callback by the respond channel send.
+			sp.WorkQueue, sp.Exec, sp.Epoch = trc.workQueue, trc.exec, trc.epoch
+			sp.Err = errStr
+			rt = &transport.Trace{
+				TraceID: tr.TraceID, SpanID: tr.SpanID, ParentID: tr.ParentID,
+				RecvQueueNs: uint64(recvWait), WorkQueueNs: uint64(trc.workQueue),
+				ExecNs: uint64(trc.exec), Epoch: trc.epoch,
+			}
+		}
+		s.sendReply(from, id, data, errStr, rt, sp)
 	}
 	act, err := s.activationFor(to, true)
 	if err != nil {
@@ -740,9 +920,13 @@ func (s *System) handleCall(env *transport.Envelope) {
 		respond(nil, errors.New(redirectPrefix+string(node)))
 		return
 	}
+	if trc != nil {
+		trc.enqueuedAt = time.Now()
+	}
 	act.enqueue(invocation{
 		method: env.Method,
 		args:   env.Payload,
+		trc:    trc,
 		respond: func(data []byte, _ interface{}, err error) {
 			respond(data, err)
 		},
@@ -750,11 +934,27 @@ func (s *System) handleCall(env *transport.Envelope) {
 }
 
 // sendReply ships one reply envelope through the send stage (inline as a
-// best effort under overload).
-func (s *System) sendReply(to transport.NodeID, id uint64, payload []byte, errStr string) {
-	reply := &transport.Envelope{Kind: transport.KindReply, ID: id, Payload: payload, Err: errStr}
-	if serr := s.sendStage.Submit(func() { _ = s.tr.Send(to, reply) }); serr != nil {
+// best effort under overload). For traced calls the reply carries the
+// callee's hop-timing record (rt) and the send task completes the server
+// span with its own queue wait before publishing it — the span is owned by
+// exactly one goroutine at every point, so no turn-side write can race a
+// ring reader.
+func (s *System) sendReply(to transport.NodeID, id uint64, payload []byte, errStr string, rt *transport.Trace, sp *trace.Span) {
+	reply := &transport.Envelope{Kind: transport.KindReply, ID: id, Payload: payload, Err: errStr, Trace: rt}
+	if sp == nil {
+		if serr := s.sendStage.Submit(func() { _ = s.tr.Send(to, reply) }); serr != nil {
+			_ = s.tr.Send(to, reply)
+		}
+		return
+	}
+	finish := func(wait time.Duration) {
 		_ = s.tr.Send(to, reply)
+		sp.ReplySend = wait
+		sp.Total = time.Since(sp.Start)
+		s.spans.Put(sp)
+	}
+	if serr := s.sendStage.SubmitTimed(finish); serr != nil {
+		finish(0)
 	}
 }
 
@@ -999,6 +1199,12 @@ func (s *System) handleControlVerb(verb string, payload []byte, from transport.N
 		return s.handleMigrateDrop(payload)
 	case ctlExchange:
 		return s.handleExchange(payload, from)
+	case ctlTraces:
+		var traceID uint64
+		if err := codec.Unmarshal(payload, &traceID); err != nil {
+			return nil, err
+		}
+		return codec.Marshal(s.spans.ForTrace(traceID))
 	case ctlPing:
 		var sender string
 		if err := codec.Unmarshal(payload, &sender); err != nil {

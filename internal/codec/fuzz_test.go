@@ -7,6 +7,23 @@ import (
 	"testing"
 )
 
+// tracedEnvelopeBody builds a frame body shaped like the transport's traced
+// envelope encoding (strings, payload, then a trailing uvarint trace
+// section) so the corpus covers the byte patterns real traffic produces.
+func tracedEnvelopeBody() []byte {
+	b := []byte{0x00} // kind
+	b = AppendUvarint(b, 42)
+	for _, s := range []string{"127.0.0.1:9", "counter", "k1", "Add", ""} {
+		b = AppendString(b, s)
+	}
+	b = AppendBytes(b, []byte("payload"))
+	b = append(b, 0x01) // trace section tag
+	for _, v := range []uint64{0xFEEDFACE, 12, 3, 1500, 250, 98000, 1, 4} {
+		b = AppendUvarint(b, v)
+	}
+	return b
+}
+
 // FuzzFrameRead streams arbitrary bytes through the frame reader: malformed
 // or truncated frames must error (never panic), honest frames must round
 // trip, and a lying length prefix must not cost a frame-sized allocation —
@@ -22,6 +39,7 @@ func FuzzFrameRead(f *testing.F) {
 	f.Add(frame([]byte("hello")))
 	f.Add(append(frame([]byte("a")), frame([]byte("bb"))...))
 	f.Add(frame(bytes.Repeat([]byte{0x7}, 3000)))
+	f.Add(frame(tracedEnvelopeBody()))
 	// Lying prefixes: huge claimed length, tiny (or no) body.
 	lie := make([]byte, 4, 14)
 	binary.BigEndian.PutUint32(lie, MaxFrameSize-1)
@@ -54,6 +72,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add([]byte(nil))
 	f.Add([]byte("payload"))
 	f.Add(bytes.Repeat([]byte{0xEE}, 70000))
+	f.Add(tracedEnvelopeBody())
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var buf bytes.Buffer
 		w := NewFrameWriter(&buf)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"actop/internal/estimator"
+	"actop/internal/metrics"
 	"actop/internal/queuing"
 	"actop/internal/seda"
 )
@@ -40,6 +41,10 @@ type ControllerConfig struct {
 	// FallbackServiceRate is used for stages with no completed samples yet
 	// (default 1000 events/sec, the estimator package's convention).
 	FallbackServiceRate float64
+	// Metrics, when set, receives per-stage gauges (workers, queue length,
+	// smoothed rates, utilization, window wait/busy quantiles) refreshed on
+	// every tick. Nil publishes nothing.
+	Metrics *metrics.Registry
 }
 
 func (c *ControllerConfig) fill(nStages int) error {
@@ -158,6 +163,10 @@ type ThreadController struct {
 	lastTick time.Time
 	status   Status
 
+	// Registry gauge families (nil when no registry was configured).
+	gWorkers, gQueue, gLambda, gService, gUtil *metrics.GaugeFamily
+	gWait, gBusy                               *metrics.GaugeFamily
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -188,7 +197,37 @@ func NewThreadController(stages []*seda.Stage, cfg ControllerConfig) (*ThreadCon
 	c.status.Interval = cfg.Interval
 	c.status.Eta = cfg.Eta
 	c.status.Processors = cfg.Processors
+	if reg := cfg.Metrics; reg != nil {
+		c.gWorkers = reg.Gauge("actop_stage_workers", "Threads currently allocated to the stage.", "stage")
+		c.gQueue = reg.Gauge("actop_stage_queue_len", "Tasks queued at the stage.", "stage")
+		c.gLambda = reg.Gauge("actop_stage_lambda_per_sec", "Smoothed stage arrival rate (events/sec).", "stage")
+		c.gService = reg.Gauge("actop_stage_service_per_sec", "Smoothed per-thread service rate (events/sec).", "stage")
+		c.gUtil = reg.Gauge("actop_stage_utilization", "Offered load over capacity, lambda/(s*workers).", "stage")
+		c.gWait = reg.Gauge("actop_stage_wait_seconds", "Stage queue delay quantiles over the last window.", "stage", "quantile")
+		c.gBusy = reg.Gauge("actop_stage_busy_seconds", "Stage execution time quantiles over the last window.", "stage", "quantile")
+	}
 	return c, nil
+}
+
+// publishStages refreshes the per-stage registry gauges from the tick's
+// stage snapshots. Called with the controller lock held; no-op without a
+// configured registry.
+func (c *ThreadController) publishStages(stages []StageStatus) {
+	if c.gWorkers == nil {
+		return
+	}
+	for i := range stages {
+		ss := &stages[i]
+		c.gWorkers.Set(float64(ss.Workers), ss.Name)
+		c.gQueue.Set(float64(ss.QueueLen), ss.Name)
+		c.gLambda.Set(ss.Lambda, ss.Name)
+		c.gService.Set(ss.Service, ss.Name)
+		c.gUtil.Set(ss.Util, ss.Name)
+		c.gWait.Set(ss.WaitP50/1e3, ss.Name, "0.5")
+		c.gWait.Set(ss.WaitP99/1e3, ss.Name, "0.99")
+		c.gBusy.Set(ss.BusyP50/1e3, ss.Name, "0.5")
+		c.gBusy.Set(ss.BusyP99/1e3, ss.Name, "0.99")
+	}
 }
 
 // Start launches the periodic loop (idempotent).
@@ -300,6 +339,7 @@ func (c *ThreadController) Tick() TickOutcome {
 		stageStatus[i] = ss
 	}
 	c.status.Stages = stageStatus
+	c.publishStages(stageStatus)
 
 	if totalProcessed < c.cfg.MinSamples {
 		c.status.Skips++

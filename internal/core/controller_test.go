@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -298,6 +299,62 @@ func TestDeadBand(t *testing.T) {
 		c.model.Eta = 1e-4
 		if got := tc.exceedsDeadBand(c.model, []int{c.cur}, []int{c.tgt}); got != c.want {
 			t.Errorf("%s: exceedsDeadBand(cur=%d, tgt=%d) = %v, want %v", c.name, c.cur, c.tgt, got, c.want)
+		}
+	}
+}
+
+// TestControllerPublishesStageGauges checks a configured registry receives
+// the per-stage gauge families on every tick.
+func TestControllerPublishesStageGauges(t *testing.T) {
+	st := seda.NewStage("work", 64, 2)
+	defer st.Close()
+	reg := metrics.NewRegistry()
+	tc, err := NewThreadController([]*seda.Stage{st}, ControllerConfig{
+		Interval:   50 * time.Millisecond,
+		Processors: 2,
+		Betas:      []float64{1},
+		MinSamples: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No registry configured: publishing is a no-op, tick still works.
+	tc.Tick()
+
+	tc2, err := NewThreadController([]*seda.Stage{st}, ControllerConfig{
+		Interval:   50 * time.Millisecond,
+		Processors: 2,
+		Betas:      []float64{1},
+		MinSamples: 1,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		if st.Submit(func() { time.Sleep(time.Millisecond); wg.Done() }) != nil {
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	tc2.Tick()
+
+	var b strings.Builder
+	reg.Write(&b)
+	text := b.String()
+	for _, want := range []string{
+		`actop_stage_workers{stage="work"} 2`,
+		`actop_stage_queue_len{stage="work"}`,
+		`actop_stage_lambda_per_sec{stage="work"}`,
+		`actop_stage_service_per_sec{stage="work"}`,
+		`actop_stage_utilization{stage="work"}`,
+		`actop_stage_wait_seconds{stage="work",quantile="0.5"}`,
+		`actop_stage_busy_seconds{stage="work",quantile="0.99"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("registry output missing %s\n%s", want, text)
 		}
 	}
 }

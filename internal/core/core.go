@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"actop/internal/actor"
+	"actop/internal/metrics"
 	"actop/internal/partition"
 	"actop/internal/seda"
 )
@@ -66,6 +67,9 @@ type Options struct {
 	SmoothingAlpha float64
 	// MaxStageWorkers caps any one stage's pool (0 = uncapped).
 	MaxStageWorkers int
+	// Metrics, when set, receives the thread controller's per-stage gauges
+	// (see ControllerConfig.Metrics). Nil publishes nothing.
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions enables both mechanisms with the paper's cadences.
@@ -144,6 +148,7 @@ func NewOptimizer(sys *actor.System, opts Options) *Optimizer {
 			Alpha:      opts.SmoothingAlpha,
 			Hysteresis: opts.Hysteresis,
 			MaxWorkers: opts.MaxStageWorkers,
+			Metrics:    opts.Metrics,
 		})
 	if err != nil {
 		// Unreachable with the clamped options above; fall back to a

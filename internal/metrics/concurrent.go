@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// chShards is the shard count of ConcurrentHistogram. Recording locks one
+// shard; shard choice round-robins on an atomic counter, so concurrent
+// recorders spread across shards instead of serializing on one mutex.
+const chShards = 4
+
+// ConcurrentHistogram wraps Histogram for concurrent recording: a small
+// fixed set of mutex-guarded shards, merged on read. Record is
+// goroutine-safe and O(1); Snapshot/Summarize are goroutine-safe and may run
+// under live traffic (they see each shard at a slightly different instant,
+// like every other snapshot in this runtime).
+type ConcurrentHistogram struct {
+	next   atomic.Uint32
+	shards [chShards]struct {
+		mu sync.Mutex
+		h  Histogram
+		// Pad shards apart so two cores recording into neighbouring shards
+		// do not ping-pong one cache line holding both mutexes.
+		_ [64]byte
+	}
+}
+
+// Record adds one duration observation. Safe for concurrent use.
+func (c *ConcurrentHistogram) Record(d time.Duration) {
+	s := &c.shards[c.next.Add(1)%chShards]
+	s.mu.Lock()
+	s.h.Record(d)
+	s.mu.Unlock()
+}
+
+// Snapshot merges the shards into a plain Histogram copy (single-goroutine
+// semantics apply to the copy).
+func (c *ConcurrentHistogram) Snapshot() *Histogram {
+	out := &Histogram{}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out.Merge(&s.h)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Count reports the total recorded observations across shards.
+func (c *ConcurrentHistogram) Count() uint64 {
+	var n uint64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.h.Count()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Summarize merges the shards and extracts the standard summary.
+func (c *ConcurrentHistogram) Summarize() Summary {
+	return c.Snapshot().Summarize()
+}
+
+// Reset clears all shards (not atomically with respect to recorders: an
+// observation racing a Reset lands in either the old or the new window).
+func (c *ConcurrentHistogram) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.h.Reset()
+		s.mu.Unlock()
+	}
+}

@@ -1,10 +1,18 @@
 // Package metrics provides the measurement primitives used throughout the
 // ActOp runtime and its experiment harness: streaming log-bucketed latency
-// histograms, exact reservoirs, windowed rate estimators, time series, and
-// latency-breakdown accounting.
+// histograms, exact reservoirs, windowed rate estimators, time series,
+// latency-breakdown accounting, and a concurrent registry with
+// Prometheus-text exposition.
 //
-// All types in this package are safe for single-goroutine use; types that are
-// additionally safe for concurrent use say so explicitly.
+// Goroutine safety, by type:
+//
+//   - Safe for concurrent use: FailureCounters, ConcurrentHistogram,
+//     Registry and its families (SummaryFamily, GaugeFamily, CounterFamily).
+//   - Single-goroutine only: Histogram, Reservoir, TimeSeries, Counter,
+//     Breakdown. Concurrent recorders must wrap Histogram in a
+//     ConcurrentHistogram (or take their own lock, as internal/seda does);
+//     snapshots of these types taken under traffic must be produced by the
+//     owning goroutine or under that same lock.
 package metrics
 
 import (

@@ -1,0 +1,344 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a concurrent metrics registry with Prometheus text-format
+// exposition: summary families (latency distributions over
+// ConcurrentHistogram), gauge families, and counter families, each keyed by
+// an ordered label set. All methods are goroutine-safe; family and series
+// handles may be cached and recorded into from any goroutine.
+//
+// Families are registered on first use and keep insertion-time help text;
+// series (label-value combinations) appear on first observation. Write
+// renders everything in name order, series in label order, suitable for a
+// Prometheus scrape endpoint.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]family
+	hooks    []func(*Registry)
+}
+
+// family is the common exposition surface of the three family kinds.
+type family interface {
+	write(w io.Writer)
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]family)}
+}
+
+// OnCollect registers a hook run at the start of every Write — the place to
+// refresh gauges that mirror externally-owned state (stage queue lengths,
+// membership counts) instead of pushing them continuously.
+func (r *Registry) OnCollect(fn func(*Registry)) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// Summary registers (or returns) the summary family with the given name,
+// help text, and label keys. Re-registering an existing name returns the
+// original family (help/labels of the first registration win).
+func (r *Registry) Summary(name, help string, labelKeys ...string) *SummaryFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if sf, ok := f.(*SummaryFamily); ok {
+			return sf
+		}
+		return &SummaryFamily{name: name, labels: labelKeys} // kind clash: orphan family
+	}
+	sf := &SummaryFamily{name: name, help: help, labels: labelKeys}
+	r.families[name] = sf
+	return sf
+}
+
+// Gauge registers (or returns) a gauge family.
+func (r *Registry) Gauge(name, help string, labelKeys ...string) *GaugeFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if gf, ok := f.(*GaugeFamily); ok {
+			return gf
+		}
+		return &GaugeFamily{name: name, labels: labelKeys}
+	}
+	gf := &GaugeFamily{name: name, help: help, labels: labelKeys}
+	r.families[name] = gf
+	return gf
+}
+
+// Counter registers (or returns) a counter family.
+func (r *Registry) Counter(name, help string, labelKeys ...string) *CounterFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if cf, ok := f.(*CounterFamily); ok {
+			return cf
+		}
+		return &CounterFamily{name: name, labels: labelKeys}
+	}
+	cf := &CounterFamily{name: name, help: help, labels: labelKeys}
+	r.families[name] = cf
+	return cf
+}
+
+// Write renders the registry in Prometheus text exposition format (0.0.4).
+func (r *Registry) Write(w io.Writer) {
+	r.mu.Lock()
+	hooks := make([]func(*Registry), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h(r)
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+// --- series keying ---
+
+// seriesKey joins label values; \x1f cannot collide with rendered labels.
+func seriesKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0] // no allocation on the hot single-label path
+	}
+	return strings.Join(values, "\x1f")
+}
+
+// renderLabels formats {k1="v1",k2="v2"} (with extra appended last), or ""
+// when there are no labels at all.
+func renderLabels(keys, values []string, extraKey, extraVal string) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		fmt.Fprintf(&b, "%s=%q", k, v)
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// --- summary family ---
+
+// SummaryFamily is a set of latency distributions sharing a metric name,
+// one ConcurrentHistogram per label-value combination. Exposed as a
+// Prometheus summary: quantiles 0.5/0.95/0.99 plus _sum and _count, in
+// seconds.
+type SummaryFamily struct {
+	name, help string
+	labels     []string
+	series     sync.Map // seriesKey -> *summarySeries
+}
+
+type summarySeries struct {
+	values []string
+	hist   ConcurrentHistogram
+}
+
+// With returns the histogram for one label-value combination, creating it
+// on first use. The handle may be cached; single-label lookups allocate
+// nothing after the first call.
+func (f *SummaryFamily) With(values ...string) *ConcurrentHistogram {
+	key := seriesKey(values)
+	if s, ok := f.series.Load(key); ok {
+		return &s.(*summarySeries).hist
+	}
+	s, _ := f.series.LoadOrStore(key, &summarySeries{values: append([]string(nil), values...)})
+	return &s.(*summarySeries).hist
+}
+
+// Observe records one duration into the given label combination.
+func (f *SummaryFamily) Observe(d time.Duration, values ...string) {
+	f.With(values...).Record(d)
+}
+
+func (f *SummaryFamily) write(w io.Writer) {
+	type row struct {
+		key string
+		s   *summarySeries
+	}
+	var rows []row
+	f.series.Range(func(k, v interface{}) bool {
+		rows = append(rows, row{key: k.(string), s: v.(*summarySeries)})
+		return true
+	})
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+	}
+	fmt.Fprintf(w, "# TYPE %s summary\n", f.name)
+	for _, r := range rows {
+		h := r.s.hist.Snapshot()
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(w, "%s%s %s\n", f.name,
+				renderLabels(f.labels, r.s.values, "quantile", trimFloat(q)),
+				trimFloat(h.Quantile(q).Seconds()))
+		}
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+			renderLabels(f.labels, r.s.values, "", ""),
+			trimFloat(float64(h.Mean())*float64(h.Count())/1e9))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+			renderLabels(f.labels, r.s.values, "", ""), h.Count())
+	}
+}
+
+// --- gauge family ---
+
+// GaugeFamily is a set of instantaneous values sharing a metric name.
+type GaugeFamily struct {
+	name, help string
+	labels     []string
+	series     sync.Map // seriesKey -> *gaugeSeries
+}
+
+type gaugeSeries struct {
+	values []string
+	bits   atomic.Uint64
+}
+
+// Set stores the gauge value for one label combination.
+func (f *GaugeFamily) Set(v float64, values ...string) {
+	key := seriesKey(values)
+	if s, ok := f.series.Load(key); ok {
+		s.(*gaugeSeries).bits.Store(math.Float64bits(v))
+		return
+	}
+	s, _ := f.series.LoadOrStore(key, &gaugeSeries{values: append([]string(nil), values...)})
+	s.(*gaugeSeries).bits.Store(math.Float64bits(v))
+}
+
+func (f *GaugeFamily) write(w io.Writer) {
+	type row struct {
+		key string
+		s   *gaugeSeries
+	}
+	var rows []row
+	f.series.Range(func(k, v interface{}) bool {
+		rows = append(rows, row{key: k.(string), s: v.(*gaugeSeries)})
+		return true
+	})
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+	}
+	fmt.Fprintf(w, "# TYPE %s gauge\n", f.name)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s%s %s\n", f.name,
+			renderLabels(f.labels, r.s.values, "", ""),
+			trimFloat(math.Float64frombits(r.s.bits.Load())))
+	}
+}
+
+// --- counter family ---
+
+// CounterFamily is a set of monotonic counters sharing a metric name.
+type CounterFamily struct {
+	name, help string
+	labels     []string
+	series     sync.Map // seriesKey -> *counterSeries
+}
+
+type counterSeries struct {
+	values []string
+	n      atomic.Uint64
+}
+
+// Add increments the counter for one label combination.
+func (f *CounterFamily) Add(n uint64, values ...string) {
+	key := seriesKey(values)
+	if s, ok := f.series.Load(key); ok {
+		s.(*counterSeries).n.Add(n)
+		return
+	}
+	s, _ := f.series.LoadOrStore(key, &counterSeries{values: append([]string(nil), values...)})
+	s.(*counterSeries).n.Add(n)
+}
+
+// SetTotal overwrites the counter's absolute value — for mirroring an
+// externally-maintained monotonic counter from a collect hook.
+func (f *CounterFamily) SetTotal(n uint64, values ...string) {
+	key := seriesKey(values)
+	if s, ok := f.series.Load(key); ok {
+		s.(*counterSeries).n.Store(n)
+		return
+	}
+	s, _ := f.series.LoadOrStore(key, &counterSeries{values: append([]string(nil), values...)})
+	s.(*counterSeries).n.Store(n)
+}
+
+func (f *CounterFamily) write(w io.Writer) {
+	type row struct {
+		key string
+		s   *counterSeries
+	}
+	var rows []row
+	f.series.Range(func(k, v interface{}) bool {
+		rows = append(rows, row{key: k.(string), s: v.(*counterSeries)})
+		return true
+	})
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+	}
+	fmt.Fprintf(w, "# TYPE %s counter\n", f.name)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s%s %d\n", f.name,
+			renderLabels(f.labels, r.s.values, "", ""), r.s.n.Load())
+	}
+}
+
+// trimFloat renders a float compactly (no trailing zeros, no exponent for
+// common magnitudes).
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

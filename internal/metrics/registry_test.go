@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentHistogramCounts verifies no observation is lost across
+// shards and the merged view matches a serial Histogram.
+func TestConcurrentHistogramCounts(t *testing.T) {
+	var ch ConcurrentHistogram
+	var serial Histogram
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(i%997) * time.Microsecond
+		ch.Record(d)
+		serial.Record(d)
+	}
+	snap := ch.Snapshot()
+	if snap.Count() != serial.Count() {
+		t.Fatalf("count %d != %d", snap.Count(), serial.Count())
+	}
+	if snap.Mean() != serial.Mean() {
+		t.Fatalf("mean %v != %v", snap.Mean(), serial.Mean())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if snap.Quantile(q) != serial.Quantile(q) {
+			t.Fatalf("q%.2f %v != %v", q, snap.Quantile(q), serial.Quantile(q))
+		}
+	}
+	ch.Reset()
+	if ch.Count() != 0 {
+		t.Fatalf("count after reset = %d", ch.Count())
+	}
+}
+
+// TestConcurrentHistogramRaceSoak hammers one histogram from many recorders
+// while snapshots run — the -race soak the package comment promises.
+func TestConcurrentHistogramRaceSoak(t *testing.T) {
+	var ch ConcurrentHistogram
+	workers := runtime.GOMAXPROCS(0) * 2
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := ch.Summarize()
+			if s.Max > time.Second {
+				t.Errorf("impossible max %v", s.Max)
+				return
+			}
+		}
+	}()
+	var rec sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec.Add(1)
+		go func(w int) {
+			defer rec.Done()
+			for i := 0; i < perWorker; i++ {
+				ch.Record(time.Duration(w*perWorker+i) % time.Millisecond)
+			}
+		}(w)
+	}
+	rec.Wait()
+	close(stop)
+	wg.Wait()
+	if got, want := ch.Count(), uint64(workers*perWorker); got != want {
+		t.Fatalf("lost observations: %d recorded, want %d", got, want)
+	}
+}
+
+func TestRegistryPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	calls := r.Summary("actop_call_duration_seconds", "actor call round-trip latency", "method")
+	calls.Observe(100*time.Millisecond, "Get")
+	calls.Observe(300*time.Millisecond, "Get")
+	calls.Observe(2*time.Millisecond, "Put")
+	comp := r.Summary("actop_call_component_seconds", "latency components", "method", "component")
+	comp.Observe(time.Millisecond, "Get", "exec")
+	r.Gauge("actop_stage_workers", "live stage pool size", "stage").Set(4, "worker")
+	r.Counter("actop_calls_total", "calls served", "kind").Add(7, "local")
+	collected := false
+	r.OnCollect(func(reg *Registry) {
+		collected = true
+		reg.Gauge("actop_uptime_seconds", "node uptime").Set(12.5)
+	})
+
+	var b strings.Builder
+	r.Write(&b)
+	out := b.String()
+	if !collected {
+		t.Fatal("collect hook did not run")
+	}
+	for _, want := range []string{
+		"# TYPE actop_call_duration_seconds summary",
+		`actop_call_duration_seconds{method="Get",quantile="0.5"}`,
+		`actop_call_duration_seconds_count{method="Get"} 2`,
+		`actop_call_duration_seconds_count{method="Put"} 1`,
+		`actop_call_component_seconds{method="Get",component="exec",quantile="0.99"}`,
+		"# TYPE actop_stage_workers gauge",
+		`actop_stage_workers{stage="worker"} 4`,
+		"# TYPE actop_calls_total counter",
+		`actop_calls_total{kind="local"} 7`,
+		"actop_uptime_seconds 12.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families render in name order.
+	if strings.Index(out, "actop_call_component_seconds") > strings.Index(out, "actop_call_duration_seconds") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+// TestRegistryConcurrent exercises family/series creation and recording
+// from many goroutines while Write renders — registry-level -race soak.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f := r.Summary("actop_call_duration_seconds", "help", "method")
+			g := r.Gauge("actop_gauge", "help", "k")
+			c := r.Counter("actop_total", "help")
+			for i := 0; i < 3000; i++ {
+				f.Observe(time.Duration(i), "m"+string(rune('0'+w%4)))
+				g.Set(float64(i), "v")
+				c.Add(1)
+			}
+		}(w)
+	}
+	var rd sync.WaitGroup
+	rd.Add(1)
+	go func() {
+		defer rd.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.Write(&b)
+		}
+	}()
+	wg.Wait()
+	rd.Wait()
+	var b strings.Builder
+	r.Write(&b)
+	if !strings.Contains(b.String(), "actop_total 24000") {
+		t.Fatalf("lost counter increments:\n%s", b.String())
+	}
+}

@@ -21,6 +21,12 @@ import (
 // Task is one unit of stage work.
 type Task func()
 
+// TimedTask is stage work that wants its own queue-residence time. The
+// worker already measures the wait for the stage's estimator histograms, so
+// handing it to the task costs nothing extra — this is how the tracing
+// plane attributes per-hop queue waits without a second clock read.
+type TimedTask func(wait time.Duration)
+
 // ErrQueueFull is returned by Submit when the stage queue is at capacity —
 // the backpressure signal (overloaded servers reject, §6.1).
 var ErrQueueFull = errors.New("seda: stage queue full")
@@ -47,8 +53,9 @@ type Stats struct {
 }
 
 type queued struct {
-	task Task
-	at   time.Time
+	task  Task
+	timed TimedTask // set instead of task for SubmitTimed work
+	at    time.Time
 }
 
 // Stage is one SEDA stage. Create with NewStage; resize with SetWorkers.
@@ -122,6 +129,23 @@ func (s *Stage) Submit(t Task) error {
 	}
 }
 
+// SubmitTimed enqueues a task that receives its measured queue wait. Same
+// semantics as Submit otherwise.
+func (s *Stage) SubmitTimed(t TimedTask) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	select {
+	case s.queue <- queued{timed: t, at: time.Now()}:
+		s.arrivals.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
 // worker drains the queue until its stop channel fires.
 func (s *Stage) worker(stop chan struct{}) {
 	defer s.wg.Done()
@@ -136,7 +160,11 @@ func (s *Stage) worker(stop chan struct{}) {
 			start := time.Now()
 			wait := start.Sub(q.at)
 			s.waitNanos.Add(int64(wait))
-			q.task()
+			if q.task != nil {
+				q.task()
+			} else {
+				q.timed(wait)
+			}
 			busy := time.Since(start)
 			s.busyNanos.Add(int64(busy))
 			s.processed.Add(1)

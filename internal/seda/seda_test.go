@@ -181,3 +181,39 @@ func TestStressConcurrentSubmitResize(t *testing.T) {
 		}
 	}
 }
+
+func TestSubmitTimedReportsQueueWait(t *testing.T) {
+	s := NewStage("w", 64, 1)
+	defer s.Close()
+	// Park the single worker so the timed task measurably queues.
+	release := make(chan struct{})
+	if err := s.Submit(func() { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan time.Duration, 1)
+	if err := s.SubmitTimed(func(wait time.Duration) { done <- wait }); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	select {
+	case wait := <-done:
+		if wait < 15*time.Millisecond {
+			t.Fatalf("queue wait = %v, want ≥ ~20ms", wait)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("timed task never ran")
+	}
+	// The wait feeds the same window histograms Submit uses.
+	if st := s.Snapshot(); st.Processed != 2 || st.Wait.Max < 15*time.Millisecond {
+		t.Fatalf("snapshot = %+v", st)
+	}
+}
+
+func TestSubmitTimedClosed(t *testing.T) {
+	s := NewStage("w", 4, 1)
+	s.Close()
+	if err := s.SubmitTimed(func(time.Duration) {}); err != ErrClosed {
+		t.Fatalf("submit after close: %v", err)
+	}
+}

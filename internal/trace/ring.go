@@ -1,0 +1,69 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is a fixed-capacity lock-free buffer of completed spans: writers
+// claim a slot with one atomic add and publish with one atomic pointer
+// store, so recording never blocks the call path; readers snapshot by
+// loading the published pointers. Old spans are overwritten once the ring
+// wraps. Spans must not be mutated after Put.
+type Ring struct {
+	slots  []atomic.Pointer[Span]
+	cursor atomic.Uint64
+}
+
+// NewRing creates a ring holding up to capacity spans (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Span], capacity)}
+}
+
+// Cap reports the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Put publishes a completed span. The span is retained by reference — the
+// caller must not modify it afterwards.
+func (r *Ring) Put(sp *Span) {
+	i := r.cursor.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(sp)
+}
+
+// Recorded reports the lifetime number of spans put (including overwritten
+// ones).
+func (r *Ring) Recorded() uint64 { return r.cursor.Load() }
+
+// Snapshot returns up to limit of the most recent spans, newest first
+// (limit <= 0 means the whole ring). Under concurrent writes a slot may be
+// observed mid-overwrite with a newer span than its position implies; the
+// snapshot is a consistent-enough view for debugging, not a barrier.
+func (r *Ring) Snapshot(limit int) []Span {
+	n := r.cursor.Load()
+	depth := uint64(len(r.slots))
+	if n < depth {
+		depth = n
+	}
+	if limit > 0 && uint64(limit) < depth {
+		depth = uint64(limit)
+	}
+	out := make([]Span, 0, depth)
+	for i := uint64(0); i < depth; i++ {
+		sp := r.slots[(n-1-i)%uint64(len(r.slots))].Load()
+		if sp != nil {
+			out = append(out, *sp)
+		}
+	}
+	return out
+}
+
+// ForTrace returns every buffered span of the given trace, newest first.
+func (r *Ring) ForTrace(traceID uint64) []Span {
+	var out []Span
+	for _, sp := range r.Snapshot(0) {
+		if sp.TraceID == traceID {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

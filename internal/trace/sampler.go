@@ -1,0 +1,55 @@
+package trace
+
+import "sync/atomic"
+
+// Sampler makes the root-call sampling decision. The zero-rate sampler
+// answers with a single branch (no atomics), so tracing that is configured
+// off costs one predictable compare per call. A non-zero rate pays one
+// atomic add plus a mix — still far below a channel operation.
+type Sampler struct {
+	threshold uint64 // rate scaled to [0, 2^32]
+	state     atomic.Uint64
+}
+
+// NewSampler returns a sampler that samples approximately the given
+// fraction of decisions (clamped to [0, 1]).
+func NewSampler(rate float64) *Sampler {
+	if rate <= 0 {
+		return &Sampler{}
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Sampler{threshold: uint64(rate * (1 << 32))}
+}
+
+// Seed offsets the sampler's id stream (e.g. by a node hash) so ids drawn
+// on different nodes do not collide. Call before traffic starts.
+func (s *Sampler) Seed(seed uint64) { s.state.Store(seed) }
+
+// Sample reports whether the next root call should be traced.
+func (s *Sampler) Sample() bool {
+	if s.threshold == 0 {
+		return false
+	}
+	return uint64(uint32(mix(s.state.Add(0x9e3779b97f4a7c15)))) < s.threshold
+}
+
+// ID draws a non-zero pseudo-random 64-bit id (trace and span ids).
+func (s *Sampler) ID() uint64 {
+	for {
+		if id := mix(s.state.Add(0x9e3779b97f4a7c15)); id != 0 {
+			return id
+		}
+	}
+}
+
+// mix is splitmix64's finalizer: a cheap, well-distributed bijection.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

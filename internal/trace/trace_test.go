@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingWrap(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Snapshot(0); len(got) != 0 {
+		t.Fatalf("empty ring snapshot has %d spans", len(got))
+	}
+	for i := 1; i <= 10; i++ {
+		r.Put(&Span{SpanID: uint64(i)})
+	}
+	if r.Recorded() != 10 {
+		t.Fatalf("recorded = %d, want 10", r.Recorded())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 4 {
+		t.Fatalf("snapshot has %d spans, want 4", len(got))
+	}
+	// Newest first: 10, 9, 8, 7.
+	for i, sp := range got {
+		if want := uint64(10 - i); sp.SpanID != want {
+			t.Fatalf("snapshot[%d].SpanID = %d, want %d", i, sp.SpanID, want)
+		}
+	}
+	if got := r.Snapshot(2); len(got) != 2 || got[0].SpanID != 10 || got[1].SpanID != 9 {
+		t.Fatalf("limited snapshot = %+v", got)
+	}
+}
+
+func TestRingForTrace(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 8; i++ {
+		r.Put(&Span{TraceID: uint64(i % 2), SpanID: uint64(i)})
+	}
+	spans := r.ForTrace(1)
+	if len(spans) != 4 {
+		t.Fatalf("ForTrace(1) returned %d spans, want 4", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.TraceID != 1 {
+			t.Fatalf("ForTrace(1) returned trace %d", sp.TraceID)
+		}
+	}
+}
+
+// TestRingConcurrent is the -race soak: writers wrap the ring while readers
+// snapshot it.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 5000; i++ {
+				r.Put(&Span{TraceID: seed, SpanID: i, Total: time.Duration(i)})
+			}
+		}(uint64(w))
+	}
+	for rd := 0; rd < 2; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, sp := range r.Snapshot(0) {
+					_ = sp.ComponentSum()
+				}
+			}
+		}()
+	}
+	// Writers finish, then stop the readers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		if r.Recorded() >= 4*5000 {
+			close(stop)
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+	if got := len(r.Snapshot(0)); got != 64 {
+		t.Fatalf("full ring snapshot has %d spans, want 64", got)
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	if NewSampler(0).Sample() {
+		t.Fatal("zero-rate sampler sampled")
+	}
+	always := NewSampler(1)
+	for i := 0; i < 1000; i++ {
+		if !always.Sample() {
+			t.Fatal("rate-1 sampler skipped")
+		}
+	}
+	s := NewSampler(0.01)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.01) > 0.005 {
+		t.Fatalf("1%% sampler hit rate = %.4f", got)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := s.ID()
+		if id == 0 || seen[id] {
+			t.Fatalf("ID() returned zero or duplicate %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestAssemble(t *testing.T) {
+	base := time.Now()
+	spans := []Span{
+		// Root call a→b, with b making a nested call to c.
+		{TraceID: 7, SpanID: 1, Kind: "client", Node: "a", Method: "Top", Start: base},
+		{TraceID: 7, SpanID: 1, Kind: "server", Node: "b", Method: "Top", Start: base.Add(time.Millisecond)},
+		{TraceID: 7, SpanID: 2, ParentID: 1, Kind: "client", Node: "b", Method: "Nested", Start: base.Add(2 * time.Millisecond)},
+		{TraceID: 7, SpanID: 2, ParentID: 1, Kind: "server", Node: "c", Method: "Nested", Start: base.Add(3 * time.Millisecond)},
+		// An unrelated root-only local span.
+		{TraceID: 9, SpanID: 5, Kind: "local", Node: "a", Method: "Solo", Start: base.Add(4 * time.Millisecond)},
+	}
+	roots := Assemble(spans)
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2", len(roots))
+	}
+	top := roots[0]
+	if top.SpanID != 1 || top.Client == nil || top.Server == nil {
+		t.Fatalf("root tree node malformed: %+v", top)
+	}
+	if top.Client.Node != "a" || top.Server.Node != "b" {
+		t.Fatalf("client/server attribution wrong: %s / %s", top.Client.Node, top.Server.Node)
+	}
+	if len(top.Children) != 1 || top.Children[0].SpanID != 2 {
+		t.Fatalf("nested call not attached: %+v", top.Children)
+	}
+	child := top.Children[0]
+	if child.Client == nil || child.Server == nil || child.Server.Node != "c" {
+		t.Fatalf("child views wrong: %+v", child)
+	}
+	if roots[1].SpanID != 5 || roots[1].Client == nil || roots[1].Client.Kind != "local" {
+		t.Fatalf("local root wrong: %+v", roots[1])
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	var spans []Span
+	for i := 0; i < 100; i++ {
+		sp := Span{
+			Serialize: 1 * time.Microsecond,
+			SendQueue: 2 * time.Microsecond,
+			Network:   40 * time.Microsecond,
+			RecvQueue: 3 * time.Microsecond,
+			WorkQueue: 4 * time.Microsecond,
+			Exec:      50 * time.Microsecond,
+			ReplySend: 2 * time.Microsecond,
+		}
+		sp.Total = sp.ComponentSum()
+		spans = append(spans, sp)
+	}
+	d := Decompose(spans)
+	if d.Count() != 100 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	if got, want := d.SumMean(), d.Total().Mean(); got != want {
+		t.Fatalf("component sum mean %v != total mean %v", got, want)
+	}
+	// exec should dominate the share column.
+	if e, n := d.ComponentHistogram("exec").Mean(), d.ComponentHistogram("network").Mean(); e <= n {
+		t.Fatalf("exec mean %v not above network mean %v", e, n)
+	}
+	tbl := d.Table()
+	for _, c := range Components {
+		if !strings.Contains(tbl, c) {
+			t.Fatalf("table missing component %q:\n%s", c, tbl)
+		}
+	}
+	if !strings.Contains(tbl, "component sum / total") {
+		t.Fatalf("table missing closure line:\n%s", tbl)
+	}
+}

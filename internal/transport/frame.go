@@ -11,6 +11,15 @@ import (
 // varint/length-prefixed primitives — no reflection, no per-message type
 // descriptors — and the payload rides along as opaque bytes. One envelope
 // per codec frame.
+//
+// Wire compatibility: the trace context is an optional trailing section
+// after the payload. Decoders that predate it ignore trailing bytes, and
+// this decoder treats an absent (or unrecognized) section as a nil trace —
+// so traced and untraced nodes interoperate in both directions, and
+// unsampled traffic is byte-identical to the pre-trace format.
+
+// traceSectionV1 tags the version-1 trace section.
+const traceSectionV1 = 0x01
 
 // appendEnvelope appends env's wire encoding to dst.
 func appendEnvelope(dst []byte, env *Envelope) []byte {
@@ -22,7 +31,36 @@ func appendEnvelope(dst []byte, env *Envelope) []byte {
 	dst = codec.AppendString(dst, env.Method)
 	dst = codec.AppendString(dst, env.Err)
 	dst = codec.AppendBytes(dst, env.Payload)
+	if tr := env.Trace; tr != nil {
+		dst = append(dst, traceSectionV1)
+		dst = codec.AppendUvarint(dst, tr.TraceID)
+		dst = codec.AppendUvarint(dst, tr.SpanID)
+		dst = codec.AppendUvarint(dst, tr.ParentID)
+		dst = codec.AppendUvarint(dst, tr.RecvQueueNs)
+		dst = codec.AppendUvarint(dst, tr.WorkQueueNs)
+		dst = codec.AppendUvarint(dst, tr.ExecNs)
+		dst = codec.AppendUvarint(dst, tr.Flags)
+		dst = codec.AppendUvarint(dst, tr.Epoch)
+	}
 	return dst
+}
+
+// decodeTrace parses a version-1 trace section body. A malformed section
+// yields nil: the section is advisory, so damage degrades to "untraced"
+// rather than dropping the connection.
+func decodeTrace(data []byte) *Trace {
+	tr := &Trace{}
+	var err error
+	for _, dst := range []*uint64{
+		&tr.TraceID, &tr.SpanID, &tr.ParentID,
+		&tr.RecvQueueNs, &tr.WorkQueueNs, &tr.ExecNs,
+		&tr.Flags, &tr.Epoch,
+	} {
+		if *dst, data, err = codec.ReadUvarint(data); err != nil {
+			return nil
+		}
+	}
+	return tr
 }
 
 // internerCap bounds a connection's string-intern table; on overflow the
@@ -97,11 +135,16 @@ func decodeEnvelope(frame []byte, in *interner) (*Envelope, error) {
 		return nil, fmt.Errorf("transport: decode envelope err: %w", err)
 	}
 	var p []byte
-	if p, _, err = codec.ReadBytes(data); err != nil {
+	if p, data, err = codec.ReadBytes(data); err != nil {
 		return nil, fmt.Errorf("transport: decode envelope payload: %w", err)
 	}
 	if len(p) > 0 {
 		env.Payload = append(make([]byte, 0, len(p)), p...)
+	}
+	// Optional trailing trace section; an unknown tag byte means a future
+	// format (or a pre-trace peer's padding) and is ignored.
+	if len(data) > 0 && data[0] == traceSectionV1 {
+		env.Trace = decodeTrace(data[1:])
 	}
 	return env, nil
 }

@@ -15,6 +15,12 @@ func FuzzDecodeEnvelope(f *testing.F) {
 		{Kind: KindReply, ID: 42, Err: "boom"},
 		{Kind: KindControl, ID: 7, Method: "dir.lookup", Payload: bytes.Repeat([]byte{0xAB}, 200)},
 		{},
+		// Traced call and reply exercise the optional trailing section.
+		{Kind: KindCall, ID: 3, From: "n1", ActorType: "counter", ActorKey: "k", Method: "Add",
+			Trace: &Trace{TraceID: 0xDEADBEEF, SpanID: 5, ParentID: 2}},
+		{Kind: KindReply, ID: 3, Payload: []byte("ok"),
+			Trace: &Trace{TraceID: 0xDEADBEEF, SpanID: 5, RecvQueueNs: 1200, WorkQueueNs: 900, ExecNs: 55000,
+				Flags: TraceFlagDedupHit, Epoch: 9}},
 	}
 	for _, env := range seedEnvs {
 		frame := appendEnvelope(nil, env)
@@ -45,6 +51,10 @@ func FuzzDecodeEnvelope(f *testing.F) {
 			env.Method != env2.Method || env.Err != env2.Err ||
 			!bytes.Equal(env.Payload, env2.Payload) {
 			t.Fatalf("round trip mismatch: %+v vs %+v", env, env2)
+		}
+		if (env.Trace == nil) != (env2.Trace == nil) ||
+			(env.Trace != nil && *env.Trace != *env2.Trace) {
+			t.Fatalf("trace round trip mismatch: %+v vs %+v", env.Trace, env2.Trace)
 		}
 	})
 }

@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"actop/internal/codec"
+)
+
+// appendEnvelopeLegacy is the pre-trace wire format, frozen here to pin
+// compatibility in both directions.
+func appendEnvelopeLegacy(dst []byte, env *Envelope) []byte {
+	dst = append(dst, byte(env.Kind))
+	dst = codec.AppendUvarint(dst, env.ID)
+	dst = codec.AppendString(dst, string(env.From))
+	dst = codec.AppendString(dst, env.ActorType)
+	dst = codec.AppendString(dst, env.ActorKey)
+	dst = codec.AppendString(dst, env.Method)
+	dst = codec.AppendString(dst, env.Err)
+	dst = codec.AppendBytes(dst, env.Payload)
+	return dst
+}
+
+func sampleTrace() *Trace {
+	return &Trace{
+		TraceID: 0xFEEDFACE, SpanID: 12, ParentID: 3,
+		RecvQueueNs: 1500, WorkQueueNs: 250, ExecNs: 98000,
+		Flags: TraceFlagDedupHit, Epoch: 4,
+	}
+}
+
+func TestTraceWireRoundTrip(t *testing.T) {
+	env := &Envelope{
+		Kind: KindReply, ID: 77, From: "127.0.0.1:9", ActorType: "player",
+		ActorKey: "p1", Method: "Status", Payload: []byte("state"),
+		Trace: sampleTrace(),
+	}
+	got, err := decodeEnvelope(appendEnvelope(nil, env), newInterner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil || *got.Trace != *env.Trace {
+		t.Fatalf("trace = %+v, want %+v", got.Trace, env.Trace)
+	}
+	if got.ID != 77 || string(got.Payload) != "state" {
+		t.Fatalf("envelope fields lost: %+v", got)
+	}
+}
+
+// TestTraceWireUnsampledIdentical: without a trace the new encoder must be
+// byte-identical to the old format — unsampled traffic pays zero bytes.
+func TestTraceWireUnsampledIdentical(t *testing.T) {
+	env := &Envelope{Kind: KindCall, ID: 5, From: "a", ActorType: "t", ActorKey: "k", Method: "M", Payload: []byte{9}}
+	if !bytes.Equal(appendEnvelope(nil, env), appendEnvelopeLegacy(nil, env)) {
+		t.Fatal("untraced encoding diverged from the legacy format")
+	}
+}
+
+// TestTraceWireOldReaderNewFrame: an old decoder (which stops at the
+// payload) must parse a traced frame's envelope fields untouched.
+func TestTraceWireOldReaderNewFrame(t *testing.T) {
+	env := &Envelope{Kind: KindCall, ID: 8, Method: "M", Payload: []byte("p"), Trace: sampleTrace()}
+	frame := appendEnvelope(nil, env)
+	legacy := appendEnvelopeLegacy(nil, env)
+	if !bytes.Equal(frame[:len(legacy)], legacy) {
+		t.Fatal("trace section is not a pure suffix of the legacy encoding")
+	}
+	// The current decoder ignores trailing bytes past the payload unless
+	// they form a recognized section — emulating an old reader by feeding it
+	// a frame with an unknown future tag.
+	future := append(append([]byte(nil), legacy...), 0x7F, 1, 2, 3)
+	got, err := decodeEnvelope(future, newInterner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != nil || got.ID != 8 || string(got.Payload) != "p" {
+		t.Fatalf("unknown trailing section mishandled: %+v", got)
+	}
+}
+
+// TestTraceWireNewReaderOldFrame: frames from a pre-trace peer decode with
+// a nil trace.
+func TestTraceWireNewReaderOldFrame(t *testing.T) {
+	env := &Envelope{Kind: KindReply, ID: 6, Err: "nope"}
+	got, err := decodeEnvelope(appendEnvelopeLegacy(nil, env), newInterner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != nil || got.Err != "nope" {
+		t.Fatalf("legacy frame mishandled: %+v", got)
+	}
+}
+
+// TestTraceWireTruncatedSection: a damaged trace section degrades to
+// untraced instead of failing the whole frame.
+func TestTraceWireTruncatedSection(t *testing.T) {
+	env := &Envelope{Kind: KindCall, ID: 2, Method: "M", Trace: sampleTrace()}
+	frame := appendEnvelope(nil, env)
+	for cut := len(frame) - 1; cut > len(frame)-6; cut-- {
+		got, err := decodeEnvelope(frame[:cut], newInterner())
+		if err != nil {
+			t.Fatalf("truncated section at %d errored: %v", cut, err)
+		}
+		if got.Trace != nil {
+			t.Fatalf("truncated section at %d produced a trace: %+v", cut, got.Trace)
+		}
+		if got.ID != 2 || got.Method != "M" {
+			t.Fatalf("envelope fields lost at cut %d: %+v", cut, got)
+		}
+	}
+}
+
+// TestInMemTraceDeepCopy: the in-memory transport must hand the receiver an
+// independent Trace, not a pointer shared with the sender.
+func TestInMemTraceDeepCopy(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("a")
+	b := net.Join("b")
+	defer a.Close()
+	defer b.Close()
+	var got atomic.Pointer[Envelope]
+	b.SetHandler(func(env *Envelope) { got.Store(env) })
+	sent := &Envelope{Kind: KindCall, ID: 1, Trace: sampleTrace()}
+	if err := a.Send("b", sent); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return got.Load() != nil }, "no delivery")
+	env := got.Load()
+	if env.Trace == sent.Trace {
+		t.Fatal("receiver shares the sender's Trace pointer")
+	}
+	if *env.Trace != *sent.Trace {
+		t.Fatalf("trace content diverged: %+v vs %+v", env.Trace, sent.Trace)
+	}
+}
+
+// TestTCPTraceRoundTrip carries a trace over real sockets.
+func TestTCPTraceRoundTrip(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var got atomic.Pointer[Envelope]
+	b.SetHandler(func(env *Envelope) { got.Store(env) })
+	want := sampleTrace()
+	if err := a.Send(b.Node(), &Envelope{Kind: KindCall, ID: 4, Method: "M", Trace: want}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return got.Load() != nil }, "no tcp delivery")
+	if env := got.Load(); env.Trace == nil || *env.Trace != *want {
+		t.Fatalf("tcp trace = %+v, want %+v", got.Load().Trace, want)
+	}
+}

@@ -53,6 +53,44 @@ type Envelope struct {
 	Payload []byte
 	// Err carries an application or runtime error back on replies.
 	Err string
+
+	// Trace is the hop-carried trace context; nil on unsampled traffic.
+	// Like Payload, a Trace passed to Send must remain unmodified until the
+	// Send completes delivery.
+	Trace *Trace
+}
+
+// Trace is the optional per-envelope trace context. Calls carry identity
+// (TraceID, SpanID, ParentID) so the callee can attribute its work; replies
+// echo the identity and ship the callee's measured components back. All
+// durations cross the wire as nanosecond counts — never timestamps — so
+// cross-node clock skew cannot corrupt a decomposition.
+type Trace struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+
+	// Reply-borne server-side duration components, in nanoseconds.
+	RecvQueueNs uint64 // receive-stage queue wait
+	WorkQueueNs uint64 // actor mailbox wait
+	ExecNs      uint64 // handler execution
+
+	// Reply-borne annotations.
+	Flags uint64 // TraceFlag* bits
+	Epoch uint64 // activation epoch that served the call
+}
+
+// TraceFlagDedupHit marks a reply served from the receiver's dedup window
+// rather than by re-executing the call.
+const TraceFlagDedupHit uint64 = 1 << 0
+
+// clone returns an independent copy (nil-safe).
+func (tr *Trace) clone() *Trace {
+	if tr == nil {
+		return nil
+	}
+	cp := *tr
+	return &cp
 }
 
 // Handler consumes inbound envelopes. It must not block for long: the
@@ -158,6 +196,7 @@ func (m *memNode) Send(to NodeID, env *Envelope) error {
 	}
 	cp := *env
 	cp.From = m.id
+	cp.Trace = env.Trace.clone() // receiver owns its envelope outright
 	deliver := func() {
 		dest.mu.RLock()
 		h := dest.handler
