@@ -1,14 +1,24 @@
-# Standard-library-only Go project; no generated code, no external tools.
+# Standard-library-only Go project; no generated code. The only tools are
+# built from this module (cmd/actop-lint) or optional pinned installs
+# (staticcheck in CI).
 
 GO ?= go
+LINT_BIN := bin/actop-lint
 
-.PHONY: check build test vet staticcheck race fuzz-smoke bench-msgplane
+.PHONY: check build test vet staticcheck lint race fuzz-smoke bench-msgplane
 
-# check is the pre-PR gate: vet (+ staticcheck when installed), build
-# everything, race-test the concurrency-heavy packages (transport, actor,
-# seda, codec), then the full tier-1 suite, then a short fuzz pass over the
-# wire decoders.
-check: vet staticcheck build race test fuzz-smoke
+# check is the pre-PR gate: vet (+ staticcheck when installed), the
+# domain lint suite, build everything, race-test the concurrency-heavy
+# packages (transport, actor, seda, codec), then the full tier-1 suite,
+# then a short fuzz pass over the wire decoders.
+check: vet staticcheck lint build race test fuzz-smoke
+
+# lint builds the domain-specific analyzer suite once into bin/ (so
+# repeated runs reuse the Go build cache and the binary) and runs it over
+# the whole module. See DESIGN.md "Static analysis" for what it enforces.
+lint:
+	$(GO) build -o $(LINT_BIN) ./cmd/actop-lint
+	./$(LINT_BIN) ./...
 
 build:
 	$(GO) build ./...

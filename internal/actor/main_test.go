@@ -1,0 +1,15 @@
+package actor
+
+import (
+	"os"
+	"testing"
+
+	"actop/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// activation turn loops, the directory janitor, and heartbeat senders
+// must all exit when their System shuts down.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaks(m.Run))
+}

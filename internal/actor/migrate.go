@@ -81,6 +81,7 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 	// always safe (migration is an optimization, not an obligation).
 	if act.installID != "" {
 		var home string
+		//actoplint:ignore lockheldio migration quiesces the turn by design; controlCall is timeout-bounded, so the hold is finite
 		if err := s.controlCall(s.directoryOwner(ref), ctlDirLookup,
 			dirRequest{Type: ref.Type, Key: ref.Key}, &home); err != nil {
 			return fmt.Errorf("actor: cannot confirm home of %s: %w", ref, err)
@@ -102,6 +103,7 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 		payload.HasState = true
 		payload.State = state
 	}
+	//actoplint:ignore lockheldio the transfer must complete under the turn lock (transfer-as-commit-point); controlCall is timeout-bounded
 	if err := s.controlCall(to, ctlMigratePut, payload, nil); err != nil {
 		// The put may have landed with only the ack lost: retire any copy
 		// it installed (matched by ID, so a different migration's install
@@ -142,6 +144,7 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 	// directory is what survives this node's cache eviction, so retry
 	// until the owner confirms.
 	update := dirRequest{Type: ref.Type, Key: ref.Key, NewNode: string(to), Epoch: payload.Epoch}
+	//actoplint:ignore lockheldio directory update is ordered before releasing the turn lock so a new turn cannot race it; timeout-bounded with a background retry fallback
 	if err := s.controlCall(s.directoryOwner(ref), ctlDirUpdate, update, nil); err != nil {
 		s.trackGo(func() { s.retryDirUpdate(ref, update) })
 	}

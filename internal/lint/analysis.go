@@ -1,0 +1,121 @@
+// Package lint is actop's domain-specific static-analysis suite: five
+// analyzers that enforce runtime invariants generic tooling (vet,
+// staticcheck) cannot see — "never block inside an actor turn", "the DES
+// stays deterministic", "no I/O while a mutex is held", "pooled buffers
+// don't outlive their release", "metric labels stay low-cardinality".
+// Each invariant here was first paid for as a runtime bug found by the
+// chaos/race batteries of earlier PRs; the analyzers move those classes
+// of failure to compile time.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) so the suite could be ported onto the
+// upstream framework verbatim. It is implemented on the standard library
+// alone — go/ast, go/types, and `go list -export` for dependency export
+// data — because this module carries no third-party dependencies, not
+// even for tooling (see the Makefile header and DESIGN.md "Static
+// analysis").
+//
+// Suppression: a comment of the form
+//
+//	//actoplint:ignore <analyzer> <reason>
+//
+// on its own line silences the named analyzer on the line that follows;
+// trailing the offending code, it silences that line. The reason is
+// mandatory, and naming an unknown analyzer is itself a diagnostic, so
+// suppressions stay auditable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant check. The shape matches
+// x/tools/go/analysis.Analyzer minus the Requires/Facts machinery, which
+// these intraprocedural (at most intra-package) checks do not need.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //actoplint:ignore directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is the one-paragraph invariant statement shown by -list.
+	Doc string
+
+	// Match restricts the analyzer to packages whose import path it
+	// accepts. A nil Match runs everywhere.
+	Match func(pkgPath string) bool
+
+	// Run performs the check on one type-checked package, reporting
+	// findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned by token.Pos (resolved to a
+// file:line:col Finding by the runner).
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a resolved diagnostic: the unit the runner returns and the
+// CLI prints.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string // analyzer name, or "actoplint" for directive errors
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// sortFindings orders findings by file, line, column, then analyzer, so
+// output is stable across runs.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Analyzers returns the full actop-lint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		TurnBlock,
+		SimDet,
+		LockHeldIO,
+		PoolEscape,
+		MetricLabel,
+	}
+}

@@ -1,0 +1,72 @@
+package lint_test
+
+import (
+	"testing"
+
+	"actop/internal/lint"
+	"actop/internal/lint/linttest"
+)
+
+// Each analyzer runs against its golden fixture package: every `// want`
+// regexp must be matched by exactly one finding on its line, and every
+// finding must be claimed — so these tests pin both the true positives
+// and the near-miss negatives.
+
+func TestTurnBlock(t *testing.T) {
+	linttest.CheckAnalyzer(t, lint.TurnBlock)
+	linttest.Run(t, "turnblock/a", lint.TurnBlock)
+}
+
+func TestSimDet(t *testing.T) {
+	linttest.CheckAnalyzer(t, lint.SimDet)
+	linttest.Run(t, "simdet/des", lint.SimDet)
+}
+
+func TestLockHeldIO(t *testing.T) {
+	linttest.CheckAnalyzer(t, lint.LockHeldIO)
+	linttest.Run(t, "lockheldio/a", lint.LockHeldIO)
+}
+
+func TestPoolEscape(t *testing.T) {
+	linttest.CheckAnalyzer(t, lint.PoolEscape)
+	linttest.Run(t, "poolescape/a", lint.PoolEscape)
+}
+
+func TestMetricLabel(t *testing.T) {
+	linttest.CheckAnalyzer(t, lint.MetricLabel)
+	linttest.Run(t, "metriclabel/a", lint.MetricLabel)
+}
+
+// TestSimDetScope pins the Match scoping: the same wall-clock calls that
+// fire inside a /des package must be invisible when the package path is
+// outside the simulation tree.
+func TestSimDetScope(t *testing.T) {
+	if lint.SimDet.Match("actop/internal/des") == false ||
+		lint.SimDet.Match("actop/internal/sim") == false ||
+		lint.SimDet.Match("actop/internal/workload") == false {
+		t.Fatal("simdet must match the simulation packages")
+	}
+	if lint.SimDet.Match("actop/internal/actor") ||
+		lint.SimDet.Match("actop/internal/transport") ||
+		lint.SimDet.Match("actop/internal/metrics") {
+		t.Fatal("simdet must not match runtime packages (they may read the wall clock)")
+	}
+}
+
+// TestSuiteNamesUnique guards the directive namespace: duplicate or
+// reserved analyzer names would make //actoplint:ignore ambiguous.
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		if a.Name == lint.DirectiveAnalyzer {
+			t.Fatalf("analyzer name %q collides with the directive pseudo-analyzer", a.Name)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("expected the 5-analyzer suite, got %d", len(seen))
+	}
+}

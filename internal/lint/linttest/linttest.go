@@ -1,0 +1,165 @@
+// Package linttest is the golden-fixture harness for actop-lint
+// analyzers, mirroring x/tools go/analysis/analysistest: fixtures live
+// under testdata/src/<importpath>/ and mark expected findings with
+// trailing comments of the form
+//
+//	code() // want "regexp" "second regexp"
+//
+// Each quoted pattern must match exactly one finding reported on that
+// line, and every finding must be claimed by a pattern, so both false
+// negatives and false positives fail the test. Suppression directives
+// are live inside fixtures, which lets the near-miss negatives double as
+// suppression coverage.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"actop/internal/lint"
+)
+
+// Run loads testdata/src/<path> (testdata relative to the calling test's
+// directory), applies the analyzers, and diffs findings against want
+// comments.
+func Run(t *testing.T, path string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("linttest: cannot locate caller to find testdata")
+	}
+	callerDir := filepath.Dir(thisFile)
+	srcRoot := filepath.Join(callerDir, "testdata", "src")
+	moduleDir := moduleRoot(callerDir)
+	pkg, err := lint.LoadFixture(moduleDir, srcRoot, path)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	findings, err := lint.RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	wants := collectWants(t, pkg)
+	// Claim findings against wants, line by line.
+	for _, f := range findings {
+		k := lineKey{f.Pos.Filename, f.Pos.Line}
+		claimed := false
+		for _, w := range wants[k] {
+			if !w.used && w.re.MatchString(f.Message) {
+				w.used = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected finding: [%s] %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no finding matched want %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// collectWants scans fixture comments for want expectations.
+func collectWants(t *testing.T, pkg *lint.Package) map[lineKey][]*want {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				k := lineKey{pos.Filename, pos.Line}
+				for _, pat := range splitPatterns(t, pos.String(), strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a sequence of double- or back-quoted strings.
+func splitPatterns(t *testing.T, at, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quoted string
+		switch s[0] {
+		case '"':
+			end := strings.Index(s[1:], `"`)
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern in %q", at, s)
+			}
+			var err error
+			quoted, err = strconv.Unquote(s[:end+2])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", at, s[:end+2], err)
+			}
+			s = strings.TrimSpace(s[end+2:])
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern in %q", at, s)
+			}
+			quoted = s[1 : end+1]
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: want patterns must be quoted, got %q", at, s)
+		}
+		out = append(out, quoted)
+	}
+	return out
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) string {
+	for d := dir; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		if filepath.Dir(d) == d {
+			return dir // fall back; go list will complain usefully
+		}
+	}
+}
+
+// CheckAnalyzer asserts the metadata every analyzer must carry for -list
+// output and directive validation to stay meaningful.
+func CheckAnalyzer(t *testing.T, a *lint.Analyzer) {
+	t.Helper()
+	if a.Name == "" || a.Doc == "" {
+		t.Fatalf("analyzer missing Name or Doc: %+v", a)
+	}
+	if strings.ToLower(a.Name) != a.Name || strings.ContainsAny(a.Name, " \t") {
+		t.Fatalf("analyzer name %q must be lower-case with no spaces", a.Name)
+	}
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeldIO bans I/O while a mutex is held — the deadlock-under-failure
+// class behind PR 3's split-brain bugs: a transport send (or a full
+// actor call) made with a lock held stalls when the peer is partitioned,
+// the lock pins every other goroutine that needs it, and the failure
+// detector's remediation path is among them. The analyzer is
+// intraprocedural and source-ordered: within one function it tracks
+// Lock/RLock...Unlock windows (defer Unlock holds to function end) and
+// flags transport sends, actor-system calls, and channel sends inside
+// them. Helpers that receive a locked struct are outside its reach —
+// keep lock scopes visible in one function, as the runtime does.
+var LockHeldIO = &Analyzer{
+	Name: "lockheldio",
+	Doc:  "no transport send, actor-system call, or channel send while a sync.Mutex/RWMutex is held",
+	Run:  runLockHeldIO,
+}
+
+func runLockHeldIO(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				ls := &lockScan{pass: pass, held: map[string]bool{}}
+				ls.walkStmts(fd.Body.List)
+			}
+		}
+	}
+	return nil
+}
+
+type lockScan struct {
+	pass *Pass
+	// held maps the receiver expression text of a locked mutex
+	// ("s.mu", "c.state.mu") to true while the lock is held in source
+	// order. Branch bodies share the map: a sequential
+	// over-approximation.
+	held map[string]bool
+}
+
+// lockMethods classifies sync mutex methods. TryLock is treated as an
+// acquire (flow past it usually assumes success).
+var lockAcquire = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+var lockRelease = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// mutexMethod matches sel against (*sync.Mutex)/(*sync.RWMutex) methods,
+// returning the lock's receiver expression text.
+func (ls *lockScan) mutexMethod(call *ast.CallExpr) (recvText, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := calleeFunc(ls.pass.TypesInfo, call)
+	if fn == nil || funcPkgPath(fn) != "sync" {
+		return "", "", false
+	}
+	rt := recvTypeName(fn)
+	if rt != "Mutex" && rt != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+func (ls *lockScan) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		ls.walkStmt(s)
+	}
+}
+
+func (ls *lockScan) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, m, ok := ls.callStmtMutex(s.X); ok {
+			if lockAcquire[m] {
+				ls.held[recv] = true
+			} else if lockRelease[m] {
+				delete(ls.held, recv)
+			}
+			return
+		}
+		ls.checkExpr(s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock(): the lock stays held to function end — which
+		// is exactly the window the check cares about, so nothing to do.
+		// Other deferred calls run after the lock region logic this scan
+		// models; skip them rather than mis-attribute.
+		if _, m, ok := ls.mutexMethod(s.Call); ok && lockRelease[m] {
+			return
+		}
+	case *ast.GoStmt:
+		// A spawned goroutine does not hold the caller's locks; its body
+		// gets a fresh scan.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			inner := &lockScan{pass: ls.pass, held: map[string]bool{}}
+			inner.walkStmts(lit.Body.List)
+		}
+		for _, a := range s.Call.Args {
+			ls.checkExpr(a)
+		}
+	case *ast.SendStmt:
+		if len(ls.held) > 0 {
+			ls.pass.Reportf(s.Arrow,
+				"channel send while %s is held; a full channel blocks with the lock pinned — send after unlocking", ls.heldNames())
+		}
+		ls.checkExpr(s.Chan)
+		ls.checkExpr(s.Value)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			ls.checkExpr(r)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			ls.checkExpr(r)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ls.walkStmt(s.Init)
+		}
+		ls.checkExpr(s.Cond)
+		ls.walkStmt(s.Body)
+		if s.Else != nil {
+			ls.walkStmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		ls.walkStmts(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			ls.walkStmt(s.Init)
+		}
+		ls.walkStmt(s.Body)
+	case *ast.RangeStmt:
+		ls.checkExpr(s.X)
+		ls.walkStmt(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ls.walkStmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.walkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		// A select with a default clause never blocks, so its comm
+		// sends are safe under a lock (the seda Submit fast path).
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if len(ls.held) > 0 && !hasDefault {
+					if snd, isSend := cc.Comm.(*ast.SendStmt); isSend {
+						ls.pass.Reportf(snd.Arrow,
+							"channel send (blocking select case) while %s is held; send after unlocking or add a default case", ls.heldNames())
+					}
+				}
+				ls.walkStmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		ls.walkStmt(s.Stmt)
+	}
+}
+
+// callStmtMutex matches a statement-level mutex call.
+func (ls *lockScan) callStmtMutex(e ast.Expr) (string, string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	return ls.mutexMethod(call)
+}
+
+// checkExpr flags I/O calls nested anywhere in an expression evaluated
+// while locks are held. Function literals are skipped: they execute
+// later, under whatever locks their caller then holds.
+func (ls *lockScan) checkExpr(e ast.Expr) {
+	if e == nil || len(ls.held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(ls.pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case fn.Name() == "Send" && pathHasSegment(funcPkgPath(fn), "transport"):
+			ls.pass.Reportf(call.Pos(),
+				"transport send while %s is held; an unreachable peer stalls the send and deadlocks every goroutine contending for the lock (PR 3 split-brain class)", ls.heldNames())
+		case isActorCallMethod(fn):
+			ls.pass.Reportf(call.Pos(),
+				"actor call (%s.%s) while %s is held; the callee may need this node — and this lock — to make progress", recvTypeName(fn), fn.Name(), ls.heldNames())
+		}
+		return true
+	})
+}
+
+// isActorCallMethod matches the actor system's synchronous call entry
+// points: Call on System/Context, and the control-plane variants.
+func isActorCallMethod(fn *types.Func) bool {
+	if !pathHasSegment(funcPkgPath(fn), "actor") {
+		return false
+	}
+	rt := recvTypeName(fn)
+	if rt != "System" && rt != "Context" {
+		return false
+	}
+	switch fn.Name() {
+	case "Call", "call", "controlCall", "controlCallT":
+		return true
+	}
+	return false
+}
+
+func (ls *lockScan) heldNames() string {
+	names := make([]string, 0, len(ls.held))
+	for n := range ls.held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// MetricLabel polices cardinality at every metrics call site. The
+// /metrics exposition plane keeps one series per distinct label-value
+// tuple forever; a label derived from an actor id, a node address, or
+// any fmt.Sprintf of per-entity data grows without bound and eventually
+// takes the whole registry (and every Prometheus scrape) with it. Label
+// values must come from closed sets: literals, constants, or named
+// values that carry method/component/stage names.
+var MetricLabel = &Analyzer{
+	Name: "metriclabel",
+	Doc:  "metric label values must come from bounded sets: no fmt.Sprintf results, string conversions, concatenations, or identity-like fields at metrics call sites",
+	Run:  runMetricLabel,
+}
+
+// metricFamilies maps the metrics registry's family types to the methods
+// that accept trailing label values, with the index of the first label
+// argument.
+var metricFamilies = map[string]map[string]int{
+	"SummaryFamily": {"With": 0, "Observe": 1},
+	"GaugeFamily":   {"Set": 1},
+	"CounterFamily": {"Add": 1, "SetTotal": 1},
+}
+
+// identityishNames flags identifiers and fields whose name screams
+// per-entity data even when the expression is otherwise a plain read.
+var identityishNames = map[string]bool{
+	"key": true, "id": true, "uid": true, "guid": true,
+	"actorid": true, "addr": true, "address": true, "host": true,
+}
+
+func runMetricLabel(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || !pathHasSegment(funcPkgPath(fn), "metrics") {
+				return true
+			}
+			methods, ok := metricFamilies[recvTypeName(fn)]
+			if !ok {
+				return true
+			}
+			first, ok := methods[fn.Name()]
+			if !ok {
+				return true
+			}
+			for i := first; i < len(call.Args); i++ {
+				if msg, pos, bad := unboundedLabel(pass, call.Args[i]); bad {
+					pass.Reportf(pos, "metric label value %s; label cardinality must stay bounded — pass a constant or a name from a closed set (see DESIGN.md \"Static analysis\")", msg)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unboundedLabel classifies one label-value argument. Allowed: constants
+// (covers literals and constant concatenation), plain identifiers, and
+// field selectors of string type — named values are trusted to carry
+// closed-set names unless their name itself looks per-entity.
+func unboundedLabel(pass *Pass, e ast.Expr) (string, token.Pos, bool) {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return "", 0, false // compile-time constant: bounded by definition
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if isConversion(pass.TypesInfo, e) {
+			return "is a string conversion of runtime data", e.Pos(), true
+		}
+		if fn := calleeFunc(pass.TypesInfo, e); fn != nil {
+			return "is built at the call site by " + fn.FullName(), e.Pos(), true
+		}
+		return "is produced by a dynamic call", e.Pos(), true
+	case *ast.BinaryExpr:
+		// Non-constant concatenation: "actor-" + id.
+		return "is a runtime string concatenation", e.Pos(), true
+	case *ast.Ident:
+		if identityishNames[strings.ToLower(e.Name)] {
+			return "looks per-entity (" + e.Name + ")", e.Pos(), true
+		}
+		return "", 0, false
+	case *ast.SelectorExpr:
+		if identityishNames[strings.ToLower(e.Sel.Name)] {
+			return "looks per-entity (." + e.Sel.Name + ")", e.Pos(), true
+		}
+		return "", 0, false
+	case *ast.IndexExpr:
+		return "", 0, false // table lookup: bounded by the table
+	}
+	return "has a shape the analyzer cannot prove bounded", e.Pos(), true
+}

@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolEscape guards the codec buffer pool's ownership contract
+// (DESIGN.md "Buffer-pool ownership rules"): a buffer obtained from
+// codec.GetBuffer may be handed back with codec.PutBuffer only when no
+// other live reference to it (or any slice of it) remains. The analyzer
+// works per function: it tracks which locals hold pooled buffers
+// (GetBuffer results, threaded through MarshalAppend) and reports
+// (a) any use of the variable after the PutBuffer call, and (b) any
+// aliasing store — field/global assignment, channel send, capture by a
+// spawned goroutine — of a buffer the function also releases, since the
+// retained alias dangles into the pool's next user. Returning a pooled
+// buffer transfers ownership and stays legal.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc:  "pooled codec buffers must not be used after PutBuffer nor escape through an alias that outlives their release",
+	Run:  runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkPoolFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// poolState tracks pooled buffer variables within one function.
+type poolState struct {
+	pass *Pass
+	// pooled maps the *types.Var of a local to its state.
+	pooled map[*types.Var]*bufState
+}
+
+type bufState struct {
+	released bool // a non-deferred PutBuffer has executed (source order)
+	everPut  bool // PutBuffer appears anywhere in the function (incl. defer)
+	escapes  []escape
+}
+
+type escape struct {
+	pos  ast.Node
+	kind string
+}
+
+func checkPoolFunc(pass *Pass, body *ast.BlockStmt) {
+	st := &poolState{pass: pass, pooled: map[*types.Var]*bufState{}}
+	// Pass 1: find pooled vars and whether each is ever released, so
+	// escapes can be judged against releases later in source order.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			st.recordPooledAssign(n)
+		case *ast.CallExpr:
+			if v := st.putBufferArg(n); v != nil {
+				if bs, ok := st.pooled[v]; ok {
+					bs.everPut = true
+				}
+			}
+		}
+		return true
+	})
+	if len(st.pooled) == 0 {
+		return
+	}
+	// Pass 2: walk statements in source order enforcing the two rules.
+	st.walkStmts(body.List)
+	for _, bs := range st.pooled {
+		if !bs.everPut {
+			continue // ownership kept or transferred; nothing dangles
+		}
+		for _, e := range bs.escapes {
+			st.pass.Reportf(e.pos.Pos(),
+				"pooled buffer %s but is also returned to the pool with PutBuffer in this function; the retained alias will alias the pool's next user", e.kind)
+		}
+	}
+}
+
+// recordPooledAssign marks LHS locals pooled when the RHS is
+// codec.GetBuffer() or codec.MarshalAppend(<pooled or GetBuffer>, ...).
+func (st *poolState) recordPooledAssign(a *ast.AssignStmt) {
+	if len(a.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(a.Lhs) == 0 {
+		return
+	}
+	fn := calleeFunc(st.pass.TypesInfo, call)
+	pooledResult := false
+	switch {
+	case st.isCodecFunc(fn, "GetBuffer"):
+		pooledResult = true
+	case st.isCodecFunc(fn, "MarshalAppend") && len(call.Args) > 0:
+		arg := ast.Unparen(call.Args[0])
+		if inner, ok := arg.(*ast.CallExpr); ok &&
+			st.isCodecFunc(calleeFunc(st.pass.TypesInfo, inner), "GetBuffer") {
+			pooledResult = true
+		} else if v := st.localVar(arg); v != nil {
+			_, pooledResult = st.pooled[v]
+		}
+	}
+	if !pooledResult {
+		return
+	}
+	if v := st.localVar(a.Lhs[0]); v != nil {
+		if _, exists := st.pooled[v]; !exists {
+			st.pooled[v] = &bufState{}
+		}
+	}
+}
+
+func (st *poolState) isCodecFunc(fn *types.Func, name string) bool {
+	return fn != nil && fn.Name() == name && recvTypeName(fn) == "" &&
+		pathHasSegment(funcPkgPath(fn), "codec")
+}
+
+// putBufferArg returns the pooled local released by a codec.PutBuffer
+// call, or nil.
+func (st *poolState) putBufferArg(call *ast.CallExpr) *types.Var {
+	fn := calleeFunc(st.pass.TypesInfo, call)
+	if !st.isCodecFunc(fn, "PutBuffer") || len(call.Args) != 1 {
+		return nil
+	}
+	return st.localVar(call.Args[0])
+}
+
+// localVar resolves e to the *types.Var of a plain local identifier.
+func (st *poolState) localVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := st.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = st.pass.TypesInfo.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// walkStmts enforces rule (a) use-after-release and collects rule (b)
+// aliasing stores, visiting statements in source order. Branch bodies
+// share the parent's state — a sequential over-approximation that is
+// documented and suppressible.
+func (st *poolState) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		st.walkStmt(s)
+	}
+}
+
+func (st *poolState) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if v := st.putBufferArg(call); v != nil {
+				if bs, ok := st.pooled[v]; ok {
+					bs.released = true
+				}
+				return
+			}
+		}
+		st.checkUses(s.X)
+	case *ast.DeferStmt:
+		// defer codec.PutBuffer(buf) is the blessed idiom: release at
+		// return. Uses between here and return precede the release, so
+		// rule (a) does not fire; rule (b) already covers aliases.
+		if v := st.putBufferArg(s.Call); v != nil {
+			return
+		}
+		st.checkUses(s.Call)
+	case *ast.AssignStmt:
+		st.recordPooledAssign(s)
+		for _, rhs := range s.Rhs {
+			st.checkUses(rhs)
+		}
+		st.checkAliasingStore(s)
+		// Reassigning the variable itself re-arms it: x = codec.GetBuffer()
+		// after a PutBuffer makes x live again.
+		for _, lhs := range s.Lhs {
+			if v := st.localVar(lhs); v != nil {
+				if bs, ok := st.pooled[v]; ok {
+					bs.released = false
+				}
+			}
+		}
+	case *ast.SendStmt:
+		st.checkUses(s.Chan)
+		st.checkUses(s.Value)
+		if v := st.localVar(s.Value); v != nil {
+			if bs, ok := st.pooled[v]; ok {
+				bs.escapes = append(bs.escapes, escape{s, "is sent on a channel"})
+			}
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently with (and often after)
+		// the release; capturing a pooled buffer there is an escape.
+		for v, bs := range st.pooled {
+			if capturesVar(st.pass, s.Call, v) {
+				bs.escapes = append(bs.escapes, escape{s, "is captured by a spawned goroutine"})
+			}
+		}
+	case *ast.ReturnStmt:
+		st.checkUsesNode(s) // return after PutBuffer is still use-after-release
+	case *ast.BlockStmt:
+		st.walkStmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		st.checkUses(s.Cond)
+		st.walkStmt(s.Body)
+		if s.Else != nil {
+			st.walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		st.walkStmt(s.Body)
+	case *ast.RangeStmt:
+		st.checkUses(s.X)
+		st.walkStmt(s.Body)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				st.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				st.walkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				st.walkStmts(cc.Body)
+			}
+		}
+	default:
+		if s != nil {
+			st.checkUsesNode(s)
+		}
+	}
+}
+
+// checkAliasingStore records stores of a pooled local into anything that
+// outlives the statement: struct fields, globals, slice/map elements.
+func (st *poolState) checkAliasingStore(a *ast.AssignStmt) {
+	for i, rhs := range a.Rhs {
+		v := st.localVar(rhs)
+		if v == nil {
+			continue
+		}
+		bs, ok := st.pooled[v]
+		if !ok || i >= len(a.Lhs) {
+			continue
+		}
+		switch lhs := ast.Unparen(a.Lhs[i]).(type) {
+		case *ast.SelectorExpr:
+			bs.escapes = append(bs.escapes, escape{a, "is stored in a field"})
+		case *ast.IndexExpr:
+			bs.escapes = append(bs.escapes, escape{a, "is stored in a container element"})
+		case *ast.Ident:
+			if gv := st.localVar(lhs); gv != nil && gv.Pkg() != nil && gv.Parent() == gv.Pkg().Scope() {
+				bs.escapes = append(bs.escapes, escape{a, "is stored in a package-level variable"})
+			}
+		}
+	}
+}
+
+// checkUses reports rule (a): reads of a pooled local after its
+// (non-deferred) PutBuffer.
+func (st *poolState) checkUses(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	st.checkUsesNode(e)
+}
+
+func (st *poolState) checkUsesNode(n ast.Node) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // closure bodies run later; GoStmt handles capture
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, _ := st.pass.TypesInfo.Uses[id].(*types.Var)
+		if v == nil {
+			return true
+		}
+		if bs, ok := st.pooled[v]; ok && bs.released {
+			st.pass.Reportf(id.Pos(),
+				"use of pooled buffer %s after codec.PutBuffer: the pool may already have handed it to another goroutine", id.Name)
+		}
+		return true
+	})
+}
+
+// capturesVar reports whether the call (a go statement's function and
+// arguments) references v.
+func capturesVar(pass *Pass, call *ast.CallExpr, v *types.Var) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if uv, _ := pass.TypesInfo.Uses[id].(*types.Var); uv == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

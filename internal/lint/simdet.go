@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimDet enforces determinism in the simulation packages: the DES is
+// what regenerates the paper's figures, so a given seed must replay the
+// exact same event sequence forever. Three things silently break that —
+// wall-clock reads (the DES has its own virtual clock), the process-
+// global math/rand source (seeded once per process, shared across
+// everything), and Go's randomized map iteration order feeding
+// order-sensitive computation. All three are invisible to vet and
+// staticcheck because they are perfectly legal Go.
+var SimDet = &Analyzer{
+	Name: "simdet",
+	Doc:  "forbid wall-clock reads, global randomness, and order-sensitive map iteration in the deterministic simulation packages",
+	Match: func(pkgPath string) bool {
+		return pathHasSegment(pkgPath, "des") ||
+			pathHasSegment(pkgPath, "sim") ||
+			pathHasSegment(pkgPath, "workload")
+	},
+	Run: runSimDet,
+}
+
+// wallClockFuncs are the time package entry points that read the host
+// clock (directly or by arming a runtime timer). Duration arithmetic and
+// constants stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// seededRandFuncs are the math/rand package-level constructors that take
+// an explicit source or seed — the only package-level entry points the
+// simulation may touch. Everything else drains the global source.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors, should the module ever migrate.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runSimDet(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Wall-clock and global-rand calls are forbidden anywhere,
+		// including package-level initializers.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkSimDetCall(pass, call)
+			}
+			return true
+		})
+		// Map-range checking is per function so the canonical fix —
+		// collect keys, sort, iterate — recognizes its own sort call.
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorted := sortedSliceVars(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if rng, ok := n.(*ast.RangeStmt); ok {
+					checkSimDetRange(pass, rng, sorted)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// sortedSliceVars collects locals that the function passes to a sort
+// routine: appending map keys into such a slice is the sanctioned
+// deterministic-iteration idiom.
+func sortedSliceVars(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || recvTypeName(fn) != "" || len(call.Args) == 0 {
+			return true
+		}
+		isSort := funcPkgPath(fn) == "sort" ||
+			(funcPkgPath(fn) == "slices" && strings.HasPrefix(fn.Name(), "Sort"))
+		if !isSort {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkSimDetCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || recvTypeName(fn) != "" {
+		return // methods (e.g. a seeded *rand.Rand) are fine
+	}
+	switch funcPkgPath(fn) {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock; simulation code must use the DES virtual clock so runs replay deterministically", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from the process-global source; use a per-simulation *rand.Rand seeded from the config (des.NewRand)", fn.Name())
+		}
+	}
+}
+
+func checkSimDetRange(pass *Pass, rng *ast.RangeStmt, sorted map[*types.Var]bool) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if orderInsensitiveBlock(pass, rng.Body, sorted) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is randomized and this loop body is order-sensitive; iterate over sorted keys (or restructure into commutative updates)")
+}
+
+// orderInsensitiveBlock reports whether every statement in the block
+// commutes across iteration order: map writes, deletes, integer
+// add/sub/count accumulation, constant stores, and control flow composed
+// of the same. Anything else — appends, float accumulation, calls,
+// channel ops — is treated as order-sensitive.
+func orderInsensitiveBlock(pass *Pass, b *ast.BlockStmt, sorted map[*types.Var]bool) bool {
+	for _, s := range b.List {
+		if !orderInsensitiveStmt(pass, s, sorted) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, s ast.Stmt, sorted map[*types.Var]bool) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(pass, s, sorted)
+	case *ast.IncDecStmt:
+		return isIntegerExpr(pass, s.X)
+	case *ast.ExprStmt:
+		// delete(m, k) is commutative; any other call may not be.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, isFn := pass.TypesInfo.Uses[id].(*types.Builtin); isFn {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil && !orderInsensitiveStmt(pass, s.Init, sorted) {
+			return false
+		}
+		if !orderInsensitiveBlock(pass, s.Body, sorted) {
+			return false
+		}
+		if s.Else != nil {
+			return orderInsensitiveStmt(pass, s.Else, sorted)
+		}
+		return true
+	case *ast.BlockStmt:
+		return orderInsensitiveBlock(pass, s, sorted)
+	case *ast.BranchStmt:
+		return s.Label == nil // continue/break commute; goto is opaque
+	case *ast.DeclStmt:
+		return true // declarations introduce iteration-local state
+	}
+	return false
+}
+
+func orderInsensitiveAssign(pass *Pass, a *ast.AssignStmt, sorted map[*types.Var]bool) bool {
+	switch a.Tok.String() {
+	case "+=", "-=", "|=", "&=", "^=":
+		// Commutative only over integers: float addition rounds
+		// differently depending on order.
+		for _, lhs := range a.Lhs {
+			if !isIntegerExpr(pass, lhs) {
+				return false
+			}
+		}
+		return true
+	case "=", ":=":
+		for i, lhs := range a.Lhs {
+			// keys = append(keys, k) is fine when keys is sorted before
+			// use — the canonical deterministic-iteration idiom.
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && i < len(a.Rhs) {
+				if v := assignedVar(pass, id); v != nil && sorted[v] && isAppendTo(pass, a.Rhs[i], v) {
+					continue
+				}
+			}
+			if ix, ok := lhs.(*ast.IndexExpr); ok {
+				// m2[k] = v: per-key stores commute across distinct keys.
+				if tv, ok := pass.TypesInfo.Types[ix.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						continue
+					}
+				}
+				return false
+			}
+			// Constant stores (found = true) are idempotent; anything
+			// else (x = v, s = append(s, v)) depends on visit order.
+			if i < len(a.Rhs) {
+				if tv, ok := pass.TypesInfo.Types[a.Rhs[i]]; ok && tv.Value != nil {
+					continue
+				}
+			}
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// assignedVar resolves an assignment LHS identifier to its object,
+// whether the statement defines (:=) or updates (=) it.
+func assignedVar(pass *Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// isAppendTo reports whether e is append(v, ...).
+func isAppendTo(pass *Pass, e ast.Expr, v *types.Var) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	av, _ := pass.TypesInfo.Uses[arg].(*types.Var)
+	return av == v
+}
+
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,20 @@
+// Package actor is a fixture stand-in for actop/internal/actor: the
+// analyzers match the Context/System shapes structurally (by type name
+// and an "actor" path segment), so fixtures exercise them without
+// dragging the real runtime into every golden test.
+package actor
+
+// Ref addresses an actor.
+type Ref struct{ Type, Key string }
+
+// Context is the turn context handed to Receive.
+type Context struct{ self Ref }
+
+// Call is the runtime's sanctioned awaited call from inside a turn.
+func (c *Context) Call(to Ref, method string, args, reply interface{}) error { return nil }
+
+// System is the top-level runtime entry.
+type System struct{}
+
+// Call is the top-level (re-entrant when used from a turn) entry point.
+func (s *System) Call(to Ref, method string, args, reply interface{}) error { return nil }

@@ -1,0 +1,31 @@
+// Fixture for the suppression mechanism, run under the simdet analyzer
+// (the /des path segment opts this package in). Directives must silence
+// exactly the named analyzer on exactly one line.
+package des
+
+import "time"
+
+// suppressedNextLine: an own-line directive covers the next line.
+func suppressedNextLine() time.Time {
+	//actoplint:ignore simdet fixture demonstrates next-line suppression
+	return time.Now()
+}
+
+// suppressedInline: a trailing directive covers its own line.
+func suppressedInline() time.Time {
+	return time.Now() //actoplint:ignore simdet fixture demonstrates same-line suppression
+}
+
+// wrongAnalyzer: naming a different (valid) analyzer leaves the simdet
+// finding live — suppression is per-analyzer, not per-line.
+func wrongAnalyzer() time.Time {
+	//actoplint:ignore turnblock suppressing the wrong analyzer must not hide simdet
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// tooFar: an own-line directive reaches only the next line, not beyond.
+func tooFar() time.Time {
+	//actoplint:ignore simdet a directive reaches exactly one line
+	_ = 0
+	return time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,98 @@
+// Fixture for the lockheldio analyzer: transport sends, actor calls,
+// and channel sends inside Lock/Unlock windows, with the unlocked and
+// non-blocking near misses that must stay silent.
+package a
+
+import (
+	"sync"
+
+	"actor"
+	"transport"
+)
+
+type node struct {
+	mu   sync.Mutex
+	rmu  sync.RWMutex
+	conn *transport.Conn
+	sys  *actor.System
+	ch   chan int
+}
+
+func (n *node) sendWhileLocked() {
+	n.mu.Lock()
+	n.conn.Send("peer", nil) // want `transport send while n\.mu is held`
+	n.mu.Unlock()
+}
+
+// sendAfterUnlock is a near miss: the window closed first.
+func (n *node) sendAfterUnlock() {
+	n.mu.Lock()
+	n.mu.Unlock()
+	_ = n.conn.Send("peer", nil)
+}
+
+func (n *node) deferredHold() error {
+	n.rmu.RLock()
+	defer n.rmu.RUnlock()
+	return n.conn.Send("peer", nil) // want `transport send while n\.rmu is held`
+}
+
+func (n *node) callWhileLocked() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_ = n.sys.Call(actor.Ref{}, "m", nil, nil) // want `actor call \(System\.Call\) while n\.mu is held`
+}
+
+func (n *node) chanSendWhileLocked(v int) {
+	n.mu.Lock()
+	n.ch <- v // want `channel send while n\.mu is held`
+	n.mu.Unlock()
+}
+
+// nonBlockingSend is a near miss: the default case makes the select —
+// and so the send — non-blocking (the seda Submit fast path).
+func (n *node) nonBlockingSend(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.ch <- v:
+	default:
+	}
+}
+
+func (n *node) blockingSelectSend(v int, stop chan int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.ch <- v: // want `channel send \(blocking select case\) while n\.mu is held`
+	case <-stop:
+	}
+}
+
+// goroutineUnderLock is a near miss: the spawned goroutine does not
+// hold the caller's lock.
+func (n *node) goroutineUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		_ = n.conn.Send("peer", nil)
+	}()
+}
+
+// disjointWindows is a near miss: both locks released before the send.
+func (n *node) disjointWindows() {
+	n.mu.Lock()
+	n.mu.Unlock()
+	n.rmu.Lock()
+	n.rmu.Unlock()
+	_ = n.conn.Send("peer", nil)
+}
+
+// twoLocksHeld reports the full held set.
+func (n *node) twoLocksHeld() {
+	n.mu.Lock()
+	n.rmu.RLock()
+	_ = n.conn.Send("peer", nil) // want `transport send while n\.mu, n\.rmu is held`
+	n.rmu.RUnlock()
+	n.mu.Unlock()
+}

@@ -1,0 +1,48 @@
+// Fixture for the metriclabel analyzer, importing the real metrics
+// registry so the family types resolve exactly as production call sites
+// do. Unbounded label shapes must be flagged; closed-set names must not.
+package a
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"actop/internal/metrics"
+)
+
+const boundedMethod = "join"
+
+var (
+	reg    = metrics.NewRegistry()
+	dur    = reg.Summary("call_duration_seconds", "per-method call latency", "method")
+	gauge  = reg.Gauge("stage_threads", "threads per stage", "stage")
+	counts = reg.Counter("calls_total", "calls by method", "method")
+)
+
+func record(d time.Duration, method string, id int, key string, stages []string) {
+	dur.Observe(d, "join")        // near miss: literal
+	dur.Observe(d, boundedMethod) // near miss: constant
+	dur.Observe(d, method)        // near miss: a named closed-set value
+	dur.Observe(d, stages[0])     // near miss: table lookup, bounded by the table
+
+	dur.Observe(d, fmt.Sprintf("actor-%d", id))    // want `built at the call site by fmt\.Sprintf`
+	dur.Observe(d, "actor-"+strconv.Itoa(id))      // want `runtime string concatenation`
+	gauge.Set(1, strconv.Itoa(id))                 // want `built at the call site by strconv\.Itoa`
+	counts.Add(1, key)                             // want `looks per-entity \(key\)`
+	counts.Add(1, string(rune(id)))                // want `string conversion of runtime data`
+	dur.With(fmt.Sprint(id)).Record(d)             // want `built at the call site by fmt\.Sprint`
+	counts.SetTotal(uint64(id), fmt.Sprint("x+y")) // want `built at the call site by fmt\.Sprint`
+}
+
+type call struct{ ID string }
+
+func recordField(d time.Duration, c call) {
+	dur.Observe(d, c.ID) // want `looks per-entity \(\.ID\)`
+}
+
+// spread is a near miss: a variadic spread of an existing label tuple is
+// the registry's own internal idiom.
+func spread(d time.Duration, labels []string) {
+	dur.Observe(d, labels...)
+}

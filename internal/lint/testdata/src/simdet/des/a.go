@@ -1,0 +1,97 @@
+// Fixture for the simdet analyzer (the package path ends in /des, so
+// the determinism rules apply): wall-clock reads, global randomness, and
+// order-sensitive map iteration, next to their deterministic near-miss
+// twins.
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func timerArm(d time.Duration) <-chan time.Time {
+	return time.After(d) // want `time\.After reads the wall clock`
+}
+
+// durationMath is a near miss: pure duration arithmetic never touches
+// the clock.
+func durationMath(start time.Duration) time.Duration {
+	return start + 5*time.Millisecond
+}
+
+func globalDraw() int {
+	return rand.Intn(6) // want `rand\.Intn draws from the process-global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global source`
+}
+
+// seededDraw is a near miss: a per-simulation seeded source replays.
+func seededDraw(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+// newRng is a near miss: the seeded constructors are the sanctioned
+// entry points.
+func newRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `map iteration order is randomized`
+		total += v
+	}
+	return total
+}
+
+func firstKey(m map[string]int) string {
+	out := ""
+	for k := range m { // want `map iteration order is randomized`
+		if out == "" {
+			out = k
+		}
+	}
+	return out
+}
+
+// intCount is a near miss: integer accumulation commutes exactly.
+func intCount(m map[string]int, want int) int {
+	n := 0
+	for _, v := range m {
+		if v == want {
+			n++
+		}
+	}
+	return n
+}
+
+// invert is a near miss: per-key stores into another map commute.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// sortedSum is a near miss: the canonical fix — collect keys, sort,
+// iterate the slice.
+func sortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}

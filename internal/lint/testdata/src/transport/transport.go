@@ -1,0 +1,17 @@
+// Package transport is a fixture stand-in for actop/internal/transport:
+// lockheldio keys on a Send method declared in a "transport" package
+// segment.
+package transport
+
+// NodeID names a peer.
+type NodeID string
+
+// Envelope is one framed message.
+type Envelope struct{}
+
+// Conn is a peer connection.
+type Conn struct{}
+
+// Send writes env to the peer, blocking while the peer is slow or
+// unreachable — exactly why it must not run under a lock.
+func (c *Conn) Send(to NodeID, env *Envelope) error { return nil }

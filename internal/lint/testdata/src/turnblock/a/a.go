@@ -1,0 +1,76 @@
+// Fixture for the turnblock analyzer: blocking operations inside (or
+// reachable from) actor turn bodies, plus the near-miss shapes that must
+// stay silent.
+package a
+
+import (
+	"sync"
+	"time"
+
+	"actor"
+)
+
+var sys *actor.System
+
+type blocky struct{}
+
+func (b *blocky) Receive(ctx *actor.Context, method string, args []byte) ([]byte, error) {
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks the worker thread in actor turn \(blocky\)\.Receive`
+	var wg sync.WaitGroup
+	wg.Wait() // want `sync\.WaitGroup\.Wait blocks`
+	ch := make(chan int)
+	<-ch                                     // want `bare channel receive blocks`
+	_ = sys.Call(actor.Ref{}, "m", nil, nil) // want `re-entrant System\.Call`
+	b.helper(ch)
+	return nil, nil
+}
+
+// helper is only a violation because a turn reaches it.
+func (b *blocky) helper(ch chan int) {
+	<-ch // want `bare channel receive blocks reachable from actor turn \(blocky\)\.Receive via \(blocky\)\.helper`
+}
+
+type valued struct{}
+
+func (v *valued) ReceiveValue(ctx *actor.Context, method string, args interface{}) (interface{}, error) {
+	var cond sync.Cond
+	cond.Wait() // want `sync\.Cond\.Wait blocks`
+	return nil, nil
+}
+
+type polite struct{}
+
+func (p *polite) Receive(ctx *actor.Context, method string, args []byte) ([]byte, error) {
+	ch := make(chan int, 1)
+	// Near miss: a select with default polls without blocking.
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	// A select without default parks the turn.
+	select { // want `select without default blocks until a case fires`
+	case v := <-ch:
+		_ = v
+	}
+	// Near miss: goroutines spawned from a turn run off-turn and may
+	// block freely.
+	go func() {
+		<-ch
+	}()
+	// Near miss: Context.Call is the runtime's sanctioned await.
+	_ = ctx.Call(actor.Ref{}, "m", nil, nil)
+	return nil, nil
+}
+
+// notATurn has the method name but not the contract (no *actor.Context
+// first parameter): nothing in it is a turn, so nothing is flagged.
+type notATurn struct{}
+
+func (n *notATurn) Receive(method string, args []byte) ([]byte, error) {
+	time.Sleep(time.Millisecond)
+	return nil, nil
+}
+
+// unreached blocks but no turn can reach it.
+func unreached(ch chan int) int { return <-ch }

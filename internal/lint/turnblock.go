@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// TurnBlock enforces the actor model's cardinal scheduling rule: a turn
+// (a Receive/ReceiveValue body, and everything it calls synchronously)
+// must never block. A blocked turn pins a worker-stage thread, starves
+// co-located activations, skews the thread controller's service-time
+// measurements, and — when the blocking is a re-entrant System.Call —
+// can deadlock the whole stage, exactly the overload collapse §4 of the
+// paper engineers against. The analyzer finds every method implementing
+// the actor contract, walks the static intra-package call graph from it,
+// and flags time.Sleep, WaitGroup/Cond waits, bare channel receives,
+// selects without default, and re-entrant System.Call in anything
+// reachable. Goroutines spawned from a turn run off-turn and are exempt;
+// Context.Call is the runtime's sanctioned await and stays legal.
+var TurnBlock = &Analyzer{
+	Name: "turnblock",
+	Doc:  "no blocking operations (time.Sleep, WaitGroup.Wait, bare channel receive, select without default, re-entrant System.Call) reachable from an actor turn",
+	Run:  runTurnBlock,
+}
+
+func runTurnBlock(pass *Pass) error {
+	// Collect the package's function bodies, keyed by their object.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	// Roots: methods implementing the actor turn contract.
+	type reachInfo struct {
+		parent *types.Func
+		root   *types.Func
+	}
+	reach := map[*types.Func]reachInfo{}
+	var queue []*types.Func
+	for fn := range decls {
+		if isTurnMethod(fn) {
+			reach[fn] = reachInfo{nil, fn}
+			queue = append(queue, fn)
+		}
+	}
+	// Deterministic BFS (and so deterministic chains in messages):
+	// process roots in source order.
+	sort.Slice(queue, func(i, j int) bool { return queue[i].Pos() < queue[j].Pos() })
+	// BFS over static same-package calls; go-statement subtrees are
+	// off-turn and contribute no edges (their argument expressions,
+	// which evaluate on-turn, still do).
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		info := reach[fn]
+		forEachOnTurnNode(decls[fn].Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			callee := calleeFunc(pass.TypesInfo, call)
+			if callee == nil {
+				return
+			}
+			if _, hasBody := decls[callee]; !hasBody {
+				return
+			}
+			if _, seen := reach[callee]; seen {
+				return
+			}
+			reach[callee] = reachInfo{fn, info.root}
+			queue = append(queue, callee)
+		})
+	}
+	// Scan every reached body for blocking operations.
+	for fn, info := range reach {
+		chain := chainString(fn, func(f *types.Func) *types.Func {
+			return reach[f].parent
+		})
+		root := info.root
+		where := "in actor turn " + funcDisplay(root)
+		if fn != root {
+			where = "reachable from actor turn " + funcDisplay(root) + " via " + chain
+		}
+		scanBlocking(pass, decls[fn].Body, where)
+	}
+	return nil
+}
+
+// isTurnMethod matches the actor contract: a method named Receive or
+// ReceiveValue whose first parameter is a *Context from an actor-ish
+// package. Matching structurally (not against the interface object)
+// keeps the analyzer usable on fixtures and on future actor variants.
+func isTurnMethod(fn *types.Func) bool {
+	if fn.Name() != "Receive" && fn.Name() != "ReceiveValue" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() == 0 {
+		return false
+	}
+	first := sig.Params().At(0).Type()
+	ptr, ok := first.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return namedName(ptr.Elem()) == "Context" &&
+		pathHasSegment(namedPkgPath(ptr.Elem()), "actor")
+}
+
+// forEachOnTurnNode visits every node that executes on the turn's
+// thread: it skips go-statement function bodies (off-turn) while still
+// visiting their argument expressions, and skips nothing else.
+func forEachOnTurnNode(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			for _, a := range g.Call.Args {
+				forEachOnTurnNode(a, visit)
+			}
+			return false
+		}
+		visit(n)
+		return true
+	})
+}
+
+// scanBlocking reports blocking operations in one on-turn body.
+func scanBlocking(pass *Pass, body ast.Node, where string) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case nil:
+			return false
+		case *ast.GoStmt:
+			for _, a := range n.Call.Args {
+				ast.Inspect(a, walk)
+			}
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				pass.Reportf(n.Pos(),
+					"select without default blocks until a case fires, %s; actor turns must never block — poll with a default case or move the wait off-turn", where)
+			}
+			// Clause bodies still run on-turn; the comm operations
+			// themselves were judged with the select.
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						ast.Inspect(s, walk)
+					}
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(),
+					"bare channel receive blocks %s; actor turns must never block — use Context.Call or a select with default", where)
+			}
+		case *ast.CallExpr:
+			checkBlockingCall(pass, n, where)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func checkBlockingCall(pass *Pass, call *ast.CallExpr, where string) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case isPkgFunc(fn, "time", "Sleep"):
+		pass.Reportf(call.Pos(),
+			"time.Sleep blocks the worker thread %s; actor turns must never block — use the runtime's scheduling instead", where)
+	case funcPkgPath(fn) == "sync" && fn.Name() == "Wait" &&
+		(recvTypeName(fn) == "WaitGroup" || recvTypeName(fn) == "Cond"):
+		pass.Reportf(call.Pos(),
+			"sync.%s.Wait blocks %s; actor turns must never block — fan in through actor messages instead", recvTypeName(fn), where)
+	case fn.Name() == "Call" && recvTypeName(fn) == "System" &&
+		pathHasSegment(funcPkgPath(fn), "actor"):
+		pass.Reportf(call.Pos(),
+			"re-entrant System.Call %s deadlocks when the callee (transitively) needs this activation; call through Context.Call, which threads the turn's identity", where)
+	}
+}
+
+// chainString renders root → ... → fn as the call path the BFS found.
+func chainString(fn *types.Func, parent func(*types.Func) *types.Func) string {
+	var parts []string
+	for f := fn; f != nil; f = parent(f) {
+		parts = append(parts, funcDisplay(f))
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts[1:], " → ")
+}
+
+// funcDisplay renders (*T).Name for methods, Name for functions.
+func funcDisplay(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return fn.Name()
+	}
+	return "(" + namedName(sig.Recv().Type()) + ")." + fn.Name()
+}

@@ -1,0 +1,15 @@
+package seda
+
+import (
+	"os"
+	"testing"
+
+	"actop/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// stage workers and the thread-allocation controller must all exit when
+// their stage (or pipeline) is stopped.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaks(m.Run))
+}

@@ -1,0 +1,124 @@
+// Package testutil holds shared test-only helpers for the runtime's
+// package test suites. Nothing here is imported by production code.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// VerifyNoLeaks runs a package's tests via run (normally m.Run) and then
+// checks that every goroutine the tests started has exited. It is meant
+// to be called from TestMain:
+//
+//	func TestMain(m *testing.M) {
+//		os.Exit(testutil.VerifyNoLeaks(m.Run))
+//	}
+//
+// The check compares full goroutine stacks after run returns against a
+// small allowlist of benign stanzas (the test harness itself, the
+// runtime's own helpers). Because goroutines wind down asynchronously —
+// a node's acceptor loop observes its closed listener only on the next
+// Accept return — the check polls with a backoff before declaring a
+// leak, so legitimate shutdown races do not flake.
+//
+// On a leak it prints every offending stack and returns a non-zero
+// code even if the tests themselves passed: a goroutine that outlives
+// System.Shutdown is exactly the bug class PR 3 fixed, and this guard
+// keeps it fixed.
+func VerifyNoLeaks(run func() int) int {
+	code := run()
+	if code != 0 {
+		// Test failures already fail the build; a leak report on top of
+		// a failing run would only bury the real diagnostics.
+		return code
+	}
+	leaked := waitForGoroutineDrain(5 * time.Second)
+	if len(leaked) == 0 {
+		return code
+	}
+	fmt.Fprintf(os.Stderr, "testutil: %d leaked goroutine(s) after tests completed:\n\n", len(leaked))
+	for _, st := range leaked {
+		fmt.Fprintf(os.Stderr, "%s\n\n", st)
+	}
+	return 1
+}
+
+// waitForGoroutineDrain polls until no unexpected goroutine stanzas
+// remain or the deadline passes, returning the survivors.
+func waitForGoroutineDrain(timeout time.Duration) []string {
+	deadline := time.Now().Add(timeout)
+	wait := 1 * time.Millisecond
+	for {
+		leaked := interestingGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(wait)
+		if wait < 100*time.Millisecond {
+			wait *= 2
+		}
+	}
+}
+
+// interestingGoroutines returns the stack stanza of every live
+// goroutine that is not on the benign allowlist.
+func interestingGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+	for _, st := range strings.Split(string(buf), "\n\n") {
+		st = strings.TrimSpace(st)
+		if st == "" || isBenignStack(st) {
+			continue
+		}
+		leaked = append(leaked, st)
+	}
+	return leaked
+}
+
+// isBenignStack reports whether a goroutine stanza belongs to the test
+// harness or the runtime rather than to code under test.
+func isBenignStack(st string) bool {
+	firstLine, rest, _ := strings.Cut(st, "\n")
+	if rest == "" {
+		// A stanza with no frames (can happen for goroutines in the
+		// middle of being created) — nothing to attribute, skip it.
+		return true
+	}
+	for _, benign := range []string{
+		"testing.Main(",          // the goroutine running TestMain itself
+		"testing.(*T).Run(",      // parent test goroutines parked in Run
+		"testing.tRunner(",       // a test body that has returned but not been reaped
+		"runtime.goexit",         // fully-exited placeholder
+		"testutil.VerifyNoLeaks", // this checker
+		"testutil.interestingGoroutines",
+		"runtime_mcall",
+		"signal.signal_recv", // os/signal watcher, started once per process
+		"runtime.ensureSigM",
+		"runtime.ReadTrace", // test -trace support
+	} {
+		if strings.Contains(rest, benign) {
+			return true
+		}
+	}
+	// The goroutine profile's own reader shows up as running.
+	if strings.HasPrefix(firstLine, "goroutine ") && strings.Contains(firstLine, "[running]") &&
+		strings.Contains(rest, "runtime.Stack(") {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDetectsLeakedGoroutine pins that the guard actually sees a
+// deliberately-stuck goroutine — without this, an over-broad allowlist
+// could silently disable the whole check.
+func TestDetectsLeakedGoroutine(t *testing.T) {
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		leakyWorker(block)
+	}()
+	defer func() {
+		close(block)
+		<-done
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var found bool
+		for _, st := range interestingGoroutines() {
+			if strings.Contains(st, "leakyWorker") {
+				found = true
+			}
+		}
+		if found {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("guard did not report the deliberately-leaked goroutine")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// leakyWorker is a named frame so the test can find its stanza.
+func leakyWorker(block chan struct{}) {
+	<-block
+}
+
+// TestDrainToleratesLateExit pins the polling behavior: a goroutine that
+// exits shortly after the tests finish must not be reported as a leak.
+func TestDrainToleratesLateExit(t *testing.T) {
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+	}()
+	if leaked := waitForGoroutineDrain(3 * time.Second); len(leaked) != 0 {
+		t.Fatalf("drain reported %d leaks for a goroutine that exits on its own:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}

@@ -1,0 +1,15 @@
+package transport
+
+import (
+	"os"
+	"testing"
+
+	"actop/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// acceptor loops, read pumps, and write coalescers must all exit when
+// their transport is closed.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaks(m.Run))
+}
