@@ -5,13 +5,14 @@
 GO ?= go
 LINT_BIN := bin/actop-lint
 
-.PHONY: check build test vet staticcheck lint race fuzz-smoke bench-msgplane
+.PHONY: check build test vet staticcheck lint race fuzz-smoke bench-msgplane cluster-smoke bench-scale
 
 # check is the pre-PR gate: vet (+ staticcheck when installed), the
 # domain lint suite, build everything, race-test the concurrency-heavy
 # packages (transport, actor, seda, codec), then the full tier-1 suite,
-# then a short fuzz pass over the wire decoders.
-check: vet staticcheck lint build race test fuzz-smoke
+# a short fuzz pass over the wire decoders, and a reduced-scale run of
+# the multi-process cluster benchmark.
+check: vet staticcheck lint build race test fuzz-smoke cluster-smoke
 
 # lint builds the domain-specific analyzer suite once into bin/ (so
 # repeated runs reuse the Go build cache and the binary) and runs it over
@@ -53,3 +54,18 @@ fuzz-smoke:
 # deep copy, TCP throughput, local/remote call round trips).
 bench-msgplane:
 	$(GO) test -run XXX -bench 'BenchmarkCodec|BenchmarkTCPSendThroughput|BenchmarkMsgPlane' -benchmem ./internal/codec/ ./internal/transport/ .
+
+# cluster-smoke drives the real multi-process loopback-TCP cluster at a
+# reduced scale (~10K actors, short drive, no COST baseline) — enough for
+# CI to catch a protocol or routing regression in minutes. The full sweep
+# is bench-scale.
+cluster-smoke:
+	$(GO) build -o bin/actop-bench ./cmd/actop-bench
+	./bin/actop-bench cluster -nodes 2 -actors 10000 -conc 8 -drive 3s -work 500 -cost=false -out bin/BENCH_scale_smoke.json
+
+# bench-scale is the paper-scale run: 100K and 1M live activations on a
+# 4-node loopback cluster plus the single-threaded COST baseline, written
+# to BENCH_scale.json.
+bench-scale:
+	$(GO) build -o bin/actop-bench ./cmd/actop-bench
+	./bin/actop-bench cluster -out BENCH_scale.json

@@ -32,6 +32,18 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "cluster-worker":
+			// Hidden mode: one node of the cluster scale benchmark,
+			// re-execed by "actop-bench cluster".
+			runClusterWorker()
+			return
+		case "cluster":
+			runClusterBench(os.Args[2:])
+			return
+		}
+	}
 	var (
 		full    = flag.Bool("full", false, "paper scale (100K players, 10 servers, 6K req/s, long runs)")
 		players = flag.Int("players", 0, "override concurrent players")
@@ -170,7 +182,9 @@ experiments:
   throughput  peak throughput baseline vs ActOp
   msgplane    real-runtime message-plane micro-benchmarks (codec/TCP/calls)
   trace       live-cluster latency decomposition from hop-carried tracing
-  all         every figure above (not msgplane/trace)
+  cluster     multi-process loopback-TCP cluster at 100K–1M live actors
+              (own flags; see actop-bench cluster -h)
+  all         every figure above (not msgplane/trace/cluster)
 
 flags:`)
 	flag.PrintDefaults()

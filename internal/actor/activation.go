@@ -48,8 +48,15 @@ type activation struct {
 	// to guarantee no turn is in flight while the state is snapshotted.
 	turnMu sync.Mutex
 
+	// Mailbox: a head-indexed queue. Drains pop queue[head] and advance
+	// head instead of re-slicing, so the backing array is reused across the
+	// activation's whole life — steady-state traffic on a warm actor
+	// appends into spare capacity and allocates nothing. When the queue
+	// empties it rewinds to queue[:0] (releasing oversized burst buffers so
+	// 1M mostly-idle activations don't pin burst-shaped arrays).
 	mu        sync.Mutex
 	queue     []invocation
+	head      int
 	scheduled bool
 	// forwarded, when set, means the activation migrated away; enqueued
 	// invocations are re-routed to the new host.
@@ -59,6 +66,37 @@ type activation struct {
 // turnBatch bounds invocations processed per worker-stage task so one hot
 // actor cannot starve the stage.
 const turnBatch = 16
+
+// mailboxRetainCap bounds the queue capacity kept across an empty rewind;
+// anything larger was a burst and goes back to the GC.
+const mailboxRetainCap = 64
+
+// takePending removes and returns every queued invocation (caller holds
+// a.mu). The mailbox is left empty with no retained capacity.
+func (a *activation) takePending() []invocation {
+	pending := a.queue[a.head:]
+	a.queue = nil
+	a.head = 0
+	return pending
+}
+
+// pop removes the next invocation (caller holds a.mu; queue non-empty).
+func (a *activation) pop() invocation {
+	inv := a.queue[a.head]
+	a.queue[a.head] = invocation{} // release args/closure references now
+	a.head++
+	if a.head == len(a.queue) {
+		if cap(a.queue) > mailboxRetainCap {
+			a.queue = nil
+		} else {
+			a.queue = a.queue[:0]
+		}
+		a.head = 0
+	}
+	return inv
+}
+
+func (a *activation) queueLen() int { return len(a.queue) - a.head }
 
 // enqueue adds an invocation and schedules a drain turn if none is pending.
 func (a *activation) enqueue(inv invocation, s *System) {
@@ -83,8 +121,7 @@ func (a *activation) schedule(s *System) {
 	if err := s.workStage.Submit(func() { a.drain(s) }); err != nil {
 		// Worker queue full: fail the queued invocations (backpressure).
 		a.mu.Lock()
-		pending := a.queue
-		a.queue = nil
+		pending := a.takePending()
 		a.scheduled = false
 		a.mu.Unlock()
 		for _, inv := range pending {
@@ -98,13 +135,12 @@ func (a *activation) schedule(s *System) {
 func (a *activation) drain(s *System) {
 	for i := 0; i < turnBatch; i++ {
 		a.mu.Lock()
-		if len(a.queue) == 0 || a.forwarded {
+		if a.queueLen() == 0 || a.forwarded {
 			a.scheduled = false
 			rerouted := a.forwarded
 			var pending []invocation
 			if rerouted {
-				pending = a.queue
-				a.queue = nil
+				pending = a.takePending()
 			}
 			a.mu.Unlock()
 			for _, inv := range pending {
@@ -112,8 +148,7 @@ func (a *activation) drain(s *System) {
 			}
 			return
 		}
-		inv := a.queue[0]
-		a.queue = a.queue[1:]
+		inv := a.pop()
 		a.mu.Unlock()
 
 		a.turnMu.Lock()
@@ -152,7 +187,7 @@ func (a *activation) drain(s *System) {
 	}
 	// Batch exhausted: yield the worker and reschedule.
 	a.mu.Lock()
-	if len(a.queue) == 0 && !a.forwarded {
+	if a.queueLen() == 0 && !a.forwarded {
 		a.scheduled = false
 		a.mu.Unlock()
 		return
@@ -199,16 +234,16 @@ func (a *activation) invoke(ctx *Context, inv invocation) (data []byte, val inte
 // call builds a fresh instance from the factory.
 func (s *System) isolatePanic(a *activation) {
 	s.failures.Panics.Add(1)
-	s.mu.Lock()
-	if cur, ok := s.activations[a.ref]; ok && cur == a {
-		delete(s.activations, a.ref)
-		delete(s.locCache, a.ref)
+	sh := s.shardOf(a.ref)
+	sh.mu.Lock()
+	if cur, ok := sh.activations[a.ref]; ok && cur == a {
+		delete(sh.activations, a.ref)
+		delete(sh.locCache, a.ref)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	a.mu.Lock()
 	a.forwarded = true
-	pending := a.queue
-	a.queue = nil
+	pending := a.takePending()
 	a.mu.Unlock()
 	for _, inv := range pending {
 		s.forwardInvocation(a.ref, inv)
@@ -217,37 +252,61 @@ func (s *System) isolatePanic(a *activation) {
 
 // activationFor returns the local activation for ref, creating it on demand
 // when this node is (or becomes) the registered host. It returns (nil, nil)
-// when the actor is hosted elsewhere — the caller redirects.
-func (s *System) activationFor(ref Ref, activate bool) (*activation, error) {
-	s.mu.RLock()
-	act, ok := s.activations[ref]
-	factory, typeOK := s.types[ref.Type]
-	s.mu.RUnlock()
+// when the actor is hosted elsewhere — the caller redirects. routed
+// distinguishes how we got here: a routed call (some caller already
+// resolved this node as the host) re-confirms through locateDir —
+// tombstones and directory authority, never the location cache — so that a
+// stale cached route can neither bounce callers away from their rightful
+// home forever nor (thanks to the tombstone check) re-instantiate an actor
+// whose state just migrated out. Unrouted probes (the zero-copy fast path
+// asking "is it co-located?") keep the cheap cache answer: the cache never
+// holds self-routes (cacheInsertLocked), so it cannot trigger a spurious
+// local activation — at worst the probe declines and the call takes the
+// routed path.
+func (s *System) activationFor(ref Ref, activate, routed bool) (*activation, error) {
+	h := refHash(ref)
+	sh := &s.state[h&(stateShardCount-1)]
+	sh.mu.RLock()
+	act, ok := sh.activations[ref]
+	sh.mu.RUnlock()
 	if ok {
 		return act, nil
 	}
+	s.mu.RLock()
+	factory, typeOK := s.types[ref.Type]
+	s.mu.RUnlock()
 	if !typeOK {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownType, ref.Type)
 	}
 	if !activate {
 		return nil, nil
 	}
-	node, err := s.locate(ref, true, time.Now().Add(s.cfg.CallTimeout))
+	resolve := s.locate
+	if routed {
+		resolve = s.locateDir
+	}
+	node, err := resolve(ref, true, time.Now().Add(s.cfg.CallTimeout))
 	if err != nil {
 		return nil, err
 	}
 	if node != s.Node() {
 		return nil, nil
 	}
-	// We are the host: instantiate (actor virtualization — §2).
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if again, ok := s.activations[ref]; ok {
+	// We are the host: instantiate (actor virtualization — §2). The
+	// activation record, its vertex mapping, and (by key) its directory/
+	// cache state all live in the ref's shard, so the double-checked
+	// install is a single shard lock.
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if again, ok := sh.activations[ref]; ok {
 		return again, nil
 	}
 	act = &activation{ref: ref, actor: factory()}
-	s.activations[ref] = act
-	s.vertexRefs[uint64(ref.Vertex())] = ref
+	sh.activations[ref] = act
+	sh.vertexRefs[h] = ref
+	// Any leftover tombstone is obsolete the moment a live activation
+	// exists here: the chain came back around.
+	delete(sh.forwards, ref)
 	return act, nil
 }
 
@@ -276,33 +335,38 @@ func (s *System) forwardInvocation(ref Ref, inv invocation) {
 
 // LocalRefs lists the refs of actors activated on this node.
 func (s *System) LocalRefs() []Ref {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Ref, 0, len(s.activations))
-	for ref := range s.activations {
-		out = append(out, ref)
+	out := make([]Ref, 0, 64)
+	for i := range s.state {
+		sh := &s.state[i]
+		sh.mu.RLock()
+		for ref := range sh.activations {
+			out = append(out, ref)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // HostsActor reports whether this node currently hosts ref.
 func (s *System) HostsActor(ref Ref) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.activations[ref]
+	sh := s.shardOf(ref)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.activations[ref]
 	return ok
 }
 
 // Deactivate removes a local activation and unregisters it from the
 // directory (the next call re-instantiates it somewhere per policy).
 func (s *System) Deactivate(ref Ref) error {
-	s.mu.Lock()
-	act, ok := s.activations[ref]
+	sh := s.shardOf(ref)
+	sh.mu.Lock()
+	act, ok := sh.activations[ref]
 	if ok {
-		delete(s.activations, ref)
-		delete(s.locCache, ref)
+		delete(sh.activations, ref)
+		delete(sh.locCache, ref)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("actor: %s not active here", ref)
 	}

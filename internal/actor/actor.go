@@ -11,7 +11,6 @@ package actor
 
 import (
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"actop/internal/graph"
@@ -32,14 +31,10 @@ func (r Ref) String() string { return r.Type + "/" + r.Key }
 
 // Vertex maps the ref onto the communication-graph vertex id used by the
 // partitioner: a 64-bit FNV-1a of the printable form. The mapping is
-// deterministic and coordination-free across nodes.
-func (r Ref) Vertex() graph.Vertex {
-	h := fnv.New64a()
-	h.Write([]byte(r.Type))
-	h.Write([]byte{0})
-	h.Write([]byte(r.Key))
-	return graph.Vertex(h.Sum64())
-}
+// deterministic and coordination-free across nodes, and doubles as the
+// state-plane shard key (shard.go) — computed allocation-free, since it
+// sits on the per-call hot path.
+func (r Ref) Vertex() graph.Vertex { return graph.Vertex(refHash(r)) }
 
 // Actor is the application-facing actor contract: a single Receive method
 // dispatching on the method name with gob-encoded arguments. Activations
@@ -111,6 +106,12 @@ type Config struct {
 	// MonitorCapacity sizes the per-node Space-Saving edge summary
 	// (default 4096).
 	MonitorCapacity int
+
+	// LocCacheSize bounds the node's location cache (resident routes across
+	// all state shards; default 128K). Eviction is per-shard clock
+	// (second-chance): hot routes survive, cold ones are recycled one at a
+	// time — never a wholesale reset.
+	LocCacheSize int
 
 	// ExchangeRejectWindow is Algorithm 1's cooldown on the receiving side
 	// of a partition exchange: requests arriving sooner after this node's
@@ -198,6 +199,9 @@ func (c *Config) fill() error {
 	}
 	if c.MonitorCapacity <= 0 {
 		c.MonitorCapacity = 4096
+	}
+	if c.LocCacheSize <= 0 {
+		c.LocCacheSize = 1 << 17
 	}
 	if c.ExchangeRejectWindow <= 0 {
 		c.ExchangeRejectWindow = time.Minute

@@ -408,14 +408,13 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 func TestLocationCacheBounded(t *testing.T) {
 	sys := newCluster(t, 1, PlaceRandom)
 	s := sys[0]
-	// Flood the cache past its bound; it must reset rather than grow
-	// without limit (§4.3: old entries are evicted for low space overhead).
+	// Flood the cache past its bound; entries must be evicted one at a time
+	// rather than letting the cache grow without limit (§4.3: old entries
+	// are evicted for low space overhead).
 	for i := 0; i < (1<<17)+10; i++ {
 		s.cachePut(Ref{Type: "counter", Key: fmt.Sprintf("k%d", i)}, s.Node())
 	}
-	s.mu.RLock()
-	n := len(s.locCache)
-	s.mu.RUnlock()
+	n := s.locCacheLen()
 	if n > (1<<17)+1 {
 		t.Fatalf("location cache unbounded: %d entries", n)
 	}

@@ -168,20 +168,28 @@ func (s *System) peerTransition(peer transport.NodeID, from, to PeerState) {
 // them to live survivors, whose (empty) directories re-place on demand.
 func (s *System) failoverPurge(dead transport.NodeID) {
 	var purged uint64
-	s.mu.Lock()
-	for ref, n := range s.locCache {
-		if n == dead {
-			delete(s.locCache, ref)
-			purged++
+	// Shard by shard: a purge holds each stripe only as long as its own
+	// sweep, so concurrent calls on other shards keep routing while the
+	// failover cleans up behind them. No cross-shard invariant is at stake —
+	// each entry's poison is independent, and the epoch guard handles any
+	// update racing the purge.
+	for i := range s.state {
+		sh := &s.state[i]
+		sh.mu.Lock()
+		for ref, e := range sh.locCache {
+			if e.node == dead {
+				delete(sh.locCache, ref)
+				purged++
+			}
 		}
-	}
-	for ref, e := range s.dirEntries {
-		if e.node == dead {
-			delete(s.dirEntries, ref)
-			purged++
+		for ref, e := range sh.dirEntries {
+			if e.node == dead {
+				delete(sh.dirEntries, ref)
+				purged++
+			}
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	s.failures.FailoverPurged.Add(purged)
 }
 

@@ -50,9 +50,10 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 		// into a dying node strands the actor behind its failover.
 		return fmt.Errorf("%w: migrate %s to %s (%s)", errPeerDown, ref, to, s.PeerStateOf(to))
 	}
-	s.mu.RLock()
-	act, ok := s.activations[ref]
-	s.mu.RUnlock()
+	sh := s.shardOf(ref)
+	sh.mu.RLock()
+	act, ok := sh.activations[ref]
+	sh.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("actor: %s not active on %s", ref, s.Node())
 	}
@@ -65,9 +66,9 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 	// counter-move racing a directly requested move) may have retired this
 	// activation while we waited. Shipping the stale copy would install the
 	// actor on two nodes at once.
-	s.mu.RLock()
-	current := s.activations[ref]
-	s.mu.RUnlock()
+	sh.mu.RLock()
+	current := sh.activations[ref]
+	sh.mu.RUnlock()
 	if current != act {
 		return fmt.Errorf("actor: %s no longer active on %s", ref, s.Node())
 	}
@@ -114,18 +115,37 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 		return fmt.Errorf("actor: transfer %s to %s: %w", ref, to, err)
 	}
 	// The transfer is committed: from here the peer's copy is the actor.
-	// Point our cache at it before retiring, so re-routed invocations and
-	// straggler redirects chase the new home immediately.
-	s.cachePut(ref, to)
+	// Leave the forwarding tombstone (and cache route) before anything
+	// else, so straggler deliveries chase the new home immediately — and so
+	// routed resolution here cannot follow a directory entry that still
+	// names this node into a fresh split-brain incarnation while the update
+	// below is in flight.
+	s.recordForward(ref, to)
+
+	// Point the directory at the new home BEFORE retiring the local
+	// activation. Until the owner confirms, directory-routed calls still
+	// land here — where they enqueue on the (quiesced) activation and
+	// re-route once it retires. Retiring first opened a split-brain: with
+	// the directory still naming this node and the cache redirect evicted
+	// (clock pressure, a failover purge, a timeout invalidation), a routed
+	// call found no activation, re-resolved through the stale directory,
+	// and re-instantiated a FRESH actor here while the real state lived on
+	// the peer. A lost update still degrades to that window (background
+	// retry until the owner applies it); the epoch guard keeps late
+	// retries from rewinding newer migrations.
+	update := dirRequest{Type: ref.Type, Key: ref.Key, NewNode: string(to), Epoch: payload.Epoch}
+	//actoplint:ignore lockheldio directory update is ordered before releasing the turn lock so a new turn cannot race it; timeout-bounded with a background retry fallback
+	if err := s.controlCall(s.directoryOwner(ref), ctlDirUpdate, update, nil); err != nil {
+		s.trackGo(func() { s.retryDirUpdate(ref, update) })
+	}
 
 	// Retire the local activation; queued invocations re-route.
-	s.mu.Lock()
-	delete(s.activations, ref)
-	s.mu.Unlock()
+	sh.mu.Lock()
+	delete(sh.activations, ref)
+	sh.mu.Unlock()
 	act.mu.Lock()
 	act.forwarded = true
-	pending := act.queue
-	act.queue = nil
+	pending := act.takePending()
 	act.mu.Unlock()
 	for _, inv := range pending {
 		s.forwardInvocation(ref, inv)
@@ -138,16 +158,6 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 	s.monMu.Unlock()
 
 	s.migrationsOut.Add(1)
-
-	// Point the directory at the new home. A lost update is not fatal —
-	// this node's cache redirect keeps routing correct meanwhile — but the
-	// directory is what survives this node's cache eviction, so retry
-	// until the owner confirms.
-	update := dirRequest{Type: ref.Type, Key: ref.Key, NewNode: string(to), Epoch: payload.Epoch}
-	//actoplint:ignore lockheldio directory update is ordered before releasing the turn lock so a new turn cannot race it; timeout-bounded with a background retry fallback
-	if err := s.controlCall(s.directoryOwner(ref), ctlDirUpdate, update, nil); err != nil {
-		s.trackGo(func() { s.retryDirUpdate(ref, update) })
-	}
 	return nil
 }
 
@@ -164,16 +174,24 @@ func (s *System) sleepOrDone(d time.Duration) bool {
 	}
 }
 
-// retryDirUpdate re-sends a lost directory update a few times with backoff
-// (best effort; gives up once the system stops or attempts run out). Runs
-// on a tracked goroutine so Stop waits it out.
+// retryDirUpdate re-sends a lost directory update with capped backoff until
+// it lands or the system stops. It must not give up: the source's
+// forwarding tombstone expires, and after that a directory entry still
+// naming the old home re-instantiates the actor there on the next routed
+// call — a permanent split brain. The owner is recomputed every attempt so
+// an update outlives the owner's death (the entry rehashes to a survivor).
+// Runs on a tracked goroutine so Stop waits it out.
 func (s *System) retryDirUpdate(ref Ref, update dirRequest) {
-	for attempt := 0; attempt < 5; attempt++ {
-		if !s.sleepOrDone(time.Duration(attempt+1) * 200 * time.Millisecond) {
+	backoff := 200 * time.Millisecond
+	for {
+		if !s.sleepOrDone(backoff) {
 			return
 		}
 		if s.controlCall(s.directoryOwner(ref), ctlDirUpdate, update, nil) == nil {
 			return
+		}
+		if backoff < time.Second {
+			backoff += 200 * time.Millisecond
 		}
 	}
 }
@@ -216,15 +234,18 @@ func (s *System) handleMigratePut(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	ref := Ref{Type: p.Type, Key: p.Key}
-	s.mu.Lock()
+	s.mu.RLock()
 	factory, ok := s.types[ref.Type]
+	s.mu.RUnlock()
 	if !ok {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrUnknownType, ref.Type)
 	}
-	if existing, exists := s.activations[ref]; exists {
+	h := refHash(ref)
+	sh := &s.state[h&(stateShardCount-1)]
+	sh.mu.Lock()
+	if existing, exists := sh.activations[ref]; exists {
 		installID := existing.installID
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		if installID != "" && installID == p.ID {
 			return codec.Marshal(ctlPlacementOK) // duplicate of our own install
 		}
@@ -234,18 +255,21 @@ func (s *System) handleMigratePut(payload []byte) ([]byte, error) {
 	if p.HasState {
 		m, ok := inst.(Migratable)
 		if !ok {
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			return nil, fmt.Errorf("actor: %s carries state but type is not Migratable", ref)
 		}
 		if err := m.Restore(p.State); err != nil {
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			return nil, fmt.Errorf("actor: restore %s: %w", ref, err)
 		}
 	}
-	s.activations[ref] = &activation{ref: ref, actor: inst, installID: p.ID, epoch: p.Epoch}
-	s.locCache[ref] = s.Node()
-	s.vertexRefs[uint64(ref.Vertex())] = ref
-	s.mu.Unlock()
+	sh.activations[ref] = &activation{ref: ref, actor: inst, installID: p.ID, epoch: p.Epoch}
+	s.cacheInsertLocked(sh, ref, s.Node())
+	sh.vertexRefs[h] = ref
+	// A tombstone left by an earlier outbound migration of this ref is
+	// obsolete: the chain came back, and the live activation now answers.
+	delete(sh.forwards, ref)
+	sh.mu.Unlock()
 	s.migrationsIn.Add(1)
 	return codec.Marshal(ctlPlacementOK)
 }
@@ -263,25 +287,25 @@ func (s *System) handleMigrateDrop(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	ref := Ref{Type: p.Type, Key: p.Key}
-	s.mu.Lock()
-	act, exists := s.activations[ref]
+	sh := s.shardOf(ref)
+	sh.mu.Lock()
+	act, exists := sh.activations[ref]
 	if exists && act.installID != "" && act.installID == p.ID {
-		delete(s.activations, ref)
-		delete(s.locCache, ref)
-		s.mu.Unlock()
+		delete(sh.activations, ref)
+		delete(sh.locCache, ref)
+		sh.mu.Unlock()
 		// Straggler invocations queued on the orphan re-route through the
 		// directory back to the authoritative home.
 		act.mu.Lock()
 		act.forwarded = true
-		pending := act.queue
-		act.queue = nil
+		pending := act.takePending()
 		act.mu.Unlock()
 		for _, inv := range pending {
 			s.forwardInvocation(ref, inv)
 		}
 		return codec.Marshal(ctlPlacementOK)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	return codec.Marshal(ctlPlacementOK) // nothing to drop: already gone or not ours
 }
 
@@ -369,10 +393,15 @@ func (l sysLocator) Server(v graph.Vertex) (graph.ServerID, bool) {
 	if !ok {
 		return 0, false
 	}
-	l.s.mu.RLock()
-	_, local := l.s.activations[ref]
-	cached, hasCache := l.s.locCache[ref]
-	l.s.mu.RUnlock()
+	sh := l.s.shardOf(ref)
+	sh.mu.RLock()
+	_, local := sh.activations[ref]
+	var cached transport.NodeID
+	e, hasCache := sh.locCache[ref]
+	if hasCache {
+		cached = e.node
+	}
+	sh.mu.RUnlock()
 	if local {
 		return l.s.selfIndex(), true
 	}
@@ -393,11 +422,14 @@ func (s *System) nodeIndexOr(n transport.NodeID) (graph.ServerID, bool) {
 
 // localVertices lists the vertices of locally hosted actors.
 func (s *System) localVertices() []graph.Vertex {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]graph.Vertex, 0, len(s.activations))
-	for ref := range s.activations {
-		out = append(out, ref.Vertex())
+	out := make([]graph.Vertex, 0, 64)
+	for i := range s.state {
+		sh := &s.state[i]
+		sh.mu.RLock()
+		for ref := range sh.activations {
+			out = append(out, ref.Vertex())
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }

@@ -1,0 +1,348 @@
+package actor
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"actop/internal/metrics"
+	"actop/internal/transport"
+)
+
+// newShardTestSystem builds a single standalone node with a custom location
+// cache bound and optional metrics registry, for exercising the sharded
+// state plane directly.
+func newShardTestSystem(t *testing.T, cacheSize int, reg *metrics.Registry) *System {
+	t.Helper()
+	net := transport.NewNetwork(0)
+	tr := net.Join("shard-node")
+	sys, err := NewSystem(Config{
+		Transport:    tr,
+		LocCacheSize: cacheSize,
+		Metrics:      reg,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RegisterType("counter", func() Actor { return &counterActor{} })
+	t.Cleanup(sys.Stop)
+	return sys
+}
+
+// refHash must stay bit-identical to hash/fnv over "Type\x00Key": the shard
+// key, the vertex index key, and Ref.Vertex all assume the same hash, and
+// partitioner vertex ids computed before this PR must not move.
+func TestRefHashMatchesStdlibFNV(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alpha := "abcdefghijklmnopqrstuvwxyz0123456789-_/."
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(len(alpha))]
+		}
+		return string(b)
+	}
+	refs := []Ref{
+		{},
+		{Type: "counter", Key: "1"},
+		{Type: "", Key: "only-key"},
+		{Type: "only-type", Key: ""},
+		{Type: "a\x00b", Key: "c"}, // embedded separator byte
+	}
+	for i := 0; i < 500; i++ {
+		refs = append(refs, Ref{Type: randStr(rng.Intn(24)), Key: randStr(rng.Intn(64))})
+	}
+	for _, r := range refs {
+		h := fnv.New64a()
+		h.Write([]byte(r.Type))
+		h.Write([]byte{0})
+		h.Write([]byte(r.Key))
+		if want, got := h.Sum64(), refHash(r); got != want {
+			t.Fatalf("refHash(%q/%q) = %#x, stdlib fnv = %#x", r.Type, r.Key, got, want)
+		}
+		if uint64(r.Vertex()) != refHash(r) {
+			t.Fatalf("Vertex(%q/%q) disagrees with refHash", r.Type, r.Key)
+		}
+	}
+	for _, s := range []string{"", "n", "node-12", "a longer node identity"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if want, got := h.Sum64(), strHash(s); got != want {
+			t.Fatalf("strHash(%q) = %#x, stdlib fnv = %#x", s, got, want)
+		}
+	}
+}
+
+// Regression for the seed's wholesale cache reset: flooding the location
+// cache far past its bound must stay bounded, evict cold routes one at a
+// time, and keep routes that are actually being hit. Under the old reset
+// every resident route — hot or not — vanished at the 128K boundary.
+func TestLocCacheClockKeepsHotRoutes(t *testing.T) {
+	const bound = 1024 // 16 residents per shard
+	s := newShardTestSystem(t, bound, nil)
+	// Routes must point at a peer: self-routes are deliberately not cached
+	// (the activations map answers for local actors).
+	peer := transport.NodeID("peer-node")
+	hot := Ref{Type: "counter", Key: "hot-route"}
+	s.cachePut(hot, peer)
+	for i := 0; i < 50_000; i++ {
+		s.cachePut(Ref{Type: "counter", Key: fmt.Sprintf("fill-%d", i)}, peer)
+		// Keep the hot route's referenced bit set so every clock pass
+		// grants it a second chance.
+		if _, ok := s.cacheGet(hot); !ok {
+			t.Fatalf("hot route evicted after %d cold inserts", i)
+		}
+	}
+	if n := s.locCacheLen(); n > bound {
+		t.Fatalf("cache exceeded bound: %d residents > %d", n, bound)
+	}
+	if _, ok := s.cacheGet(Ref{Type: "counter", Key: "fill-0"}); ok {
+		t.Fatal("earliest cold route survived a 50K-entry flood of its cache")
+	}
+	if s.locEvicts.Load() == 0 {
+		t.Fatal("flood past the bound recorded no evictions")
+	}
+	// Deleting entries orphans clock slots; inserts must reuse them without
+	// growing past the bound.
+	for i := 0; i < 1000; i++ {
+		s.cacheDel(Ref{Type: "counter", Key: fmt.Sprintf("fill-%d", 49_000+i)})
+	}
+	for i := 0; i < 5000; i++ {
+		s.cachePut(Ref{Type: "counter", Key: fmt.Sprintf("refill-%d", i)}, peer)
+		if _, ok := s.cacheGet(hot); !ok {
+			t.Fatalf("hot route lost during delete/reinsert churn (refill %d)", i)
+		}
+	}
+	if n := s.locCacheLen(); n > bound {
+		t.Fatalf("cache exceeded bound after delete/reinsert churn: %d > %d", n, bound)
+	}
+}
+
+// The reply-dedup window must stay bounded per stripe and keep honoring
+// recorded replies while evicting the oldest entries.
+func TestDedupWindowBounded(t *testing.T) {
+	s := newShardTestSystem(t, 0, nil)
+	const perStripe = dedupWindow / dedupShardCount
+	for i := uint64(0); i < 4*dedupWindow; i++ {
+		key := dedupKey{from: "peer-a", id: i}
+		proceed, prior := s.dedupBegin(key)
+		if !proceed || prior != nil {
+			t.Fatalf("fresh key %d not admitted (proceed=%v prior=%v)", i, proceed, prior)
+		}
+		s.dedupResolve(key, []byte("ok"), "")
+	}
+	total := 0
+	for i := range s.dedupShards {
+		d := &s.dedupShards[i]
+		d.mu.Lock()
+		n, live := len(d.m), len(d.order)-d.head
+		d.mu.Unlock()
+		if n != live {
+			t.Fatalf("stripe %d: map %d vs order window %d", i, n, live)
+		}
+		if n > perStripe {
+			t.Fatalf("stripe %d over budget: %d > %d", i, n, perStripe)
+		}
+		total += n
+	}
+	if total > dedupWindow {
+		t.Fatalf("dedup window unbounded: %d > %d", total, dedupWindow)
+	}
+	// A recent (resident) key must replay its recorded reply, not re-execute.
+	key := dedupKey{from: "peer-a", id: 4*dedupWindow - 1}
+	proceed, prior := s.dedupBegin(key)
+	if proceed || prior == nil || string(prior.payload) != "ok" {
+		t.Fatalf("resident key re-admitted: proceed=%v prior=%+v", proceed, prior)
+	}
+}
+
+// The pending-reply stripes must route an id to the same stripe for put,
+// get, and delete.
+func TestPendingStripes(t *testing.T) {
+	s := newShardTestSystem(t, 0, nil)
+	chans := make(map[uint64]chan *transport.Envelope)
+	for i := uint64(0); i < 200; i++ {
+		ch := make(chan *transport.Envelope, 1)
+		chans[i*2654435761] = ch
+		s.pendPut(i*2654435761, ch)
+	}
+	for id, want := range chans {
+		if got := s.pendGet(id); got != want {
+			t.Fatalf("pendGet(%d) returned wrong channel", id)
+		}
+		s.pendDel(id)
+		if got := s.pendGet(id); got != nil {
+			t.Fatalf("pendGet(%d) alive after delete", id)
+		}
+	}
+}
+
+// Per-shard occupancy gauges and cache counters must reach the Prometheus
+// exposition.
+func TestShardMetricsExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newShardTestSystem(t, 0, reg)
+	for i := 0; i < 32; i++ {
+		ref := Ref{Type: "counter", Key: fmt.Sprintf("m-%d", i)}
+		if err := s.Call(ref, "Add", 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	reg.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`actop_shard_activations{shard="0"}`,
+		"actop_loccache_hits_total",
+		"actop_loccache_misses_total",
+		"actop_loccache_evictions_total",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got := s.activationsLen(); got != 32 {
+		t.Fatalf("activationsLen = %d, want 32", got)
+	}
+}
+
+// Race soak over the sharded state plane: concurrent calls, lookups,
+// migrations, deactivations, and cache invalidations on overlapping refs.
+// Run under -race (the Makefile battery does); the functional assertion is
+// that no increment is lost on the migrate-churned counters and that every
+// actor is callable when the dust settles.
+func TestConcurrentStatePlaneSoak(t *testing.T) {
+	sys := newCluster(t, 3, PlaceRandom)
+	const keys = 48
+	refs := make([]Ref, keys)
+	for i := range refs {
+		refs[i] = Ref{Type: "counter", Key: fmt.Sprintf("soak-%d", i)}
+		if err := sys[0].Call(refs[i], "Add", 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ephem := make([]Ref, 16)
+	for i := range ephem {
+		ephem[i] = Ref{Type: "counter", Key: fmt.Sprintf("ephem-%d", i)}
+	}
+
+	stop := make(chan struct{})
+	adds := make([]atomic.Int64, keys)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(keys)
+				if err := sys[g%3].Call(refs[k], "Add", 1, nil); err != nil {
+					t.Errorf("Add %s: %v", refs[k], err)
+					return
+				}
+				adds[k].Add(1)
+			}
+		}(g)
+	}
+	// Migrator: bounce soak actors between nodes. Losing the race to find
+	// the host is fine; losing state is not (checked at the end).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(200))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ref := refs[rng.Intn(keys)]
+			for i, s := range sys {
+				if s.HostsActor(ref) {
+					_ = s.Migrate(ref, sys[(i+1)%3].Node())
+					break
+				}
+			}
+		}
+	}()
+	// Deactivator + caller on ephemeral actors (state resets by design).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(300))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ref := ephem[rng.Intn(len(ephem))]
+			// A call chasing an actor this loop keeps deactivating can
+			// exhaust its redirect budget; that's the documented contract
+			// under adversarial churn, not a lost update.
+			if err := sys[rng.Intn(3)].Call(ref, "Add", 1, nil); err != nil &&
+				!strings.Contains(err.Error(), "too many redirects") {
+				t.Errorf("ephem Add %s: %v", ref, err)
+				return
+			}
+			for _, s := range sys {
+				if s.HostsActor(ref) {
+					_ = s.Deactivate(ref)
+					break
+				}
+			}
+		}
+	}()
+	// Cache invalidator: drop routes so lookups re-resolve mid-churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(400))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sys[rng.Intn(3)].cacheDel(refs[rng.Intn(keys)])
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	time.Sleep(1 * time.Second)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for k, ref := range refs {
+		var out int
+		if err := sys[k%3].Call(ref, "Get", nil, &out); err != nil {
+			t.Fatalf("post-soak Get %s: %v", ref, err)
+		}
+		if int64(out) != adds[k].Load() {
+			hosts := ""
+			for _, s := range sys {
+				if s.HostsActor(ref) {
+					hosts += " " + string(s.Node())
+				}
+			}
+			var where string
+			sys[k%3].Call(ref, "WhereAmI", nil, &where)
+			t.Fatalf("%s: %d increments recorded, state says %d (hosts:%s, answered by %s)",
+				ref, adds[k].Load(), out, hosts, where)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"actop/internal/codec"
+	"actop/internal/graph"
 	"actop/internal/metrics"
 	"actop/internal/partition"
 	"actop/internal/seda"
@@ -51,6 +52,13 @@ const (
 // transport.ErrUnreachable.
 var errPeerDown = errors.New("actor: peer down")
 
+// errRedirectChase marks a dispatch that exhausted its redirect budget: the
+// actor moved again at every hop of the chase. Retryable — each hop already
+// refreshed the local cache, so the next attempt starts from the freshest
+// route and the outer retry loop bounds the whole pursuit by the call
+// deadline. Terminal only when the deadline runs out.
+var errRedirectChase = errors.New("actor: too many redirects")
+
 // System is one node of the distributed actor runtime.
 type System struct {
 	cfg   Config
@@ -61,17 +69,25 @@ type System struct {
 	workStage *seda.Stage
 	sendStage *seda.Stage
 
-	mu          sync.RWMutex
-	types       map[string]Factory
-	activations map[Ref]*activation
-	dirEntries  map[Ref]dirEntry // entries this node owns (hash-homed)
-	locCache    map[Ref]transport.NodeID
-	vertexRefs  map[uint64]Ref // vertex id → ref (for migration decisions)
-	stopped     bool
+	// mu guards only the cold-path registration state: the type registry
+	// and the stopped flag. The hot-path maps live in the sharded state
+	// plane below (shard.go).
+	mu      sync.RWMutex
+	types   map[string]Factory
+	stopped bool
 
-	pendMu  sync.Mutex
-	pending map[uint64]chan *transport.Envelope
-	nextID  atomic.Uint64
+	// state is the lock-striped routing/directory plane: activations, owned
+	// directory entries, the location cache (clock-evicted), and the
+	// vertex↔ref index, sharded by ref hash so operations on distinct refs
+	// never contend (see shard.go).
+	state [stateShardCount]stateShard
+
+	// pend is the striped pending-reply table (call id → reply channel).
+	pend   [pendShardCount]pendShard
+	nextID atomic.Uint64
+
+	// Location-cache counters (atomic; mirrored to the registry and Stats).
+	locHits, locMisses, locEvicts atomic.Uint64
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -87,10 +103,9 @@ type System struct {
 
 	// Reply dedup window: recently answered remote calls, keyed by the
 	// caller's (node, call id), so a retried call resends the recorded
-	// reply instead of executing the turn again.
-	dedupMu    sync.Mutex
-	dedup      map[dedupKey]*dedupEntry
-	dedupOrder []dedupKey
+	// reply instead of executing the turn again. Striped by caller identity
+	// so concurrent deliveries from different callers never contend.
+	dedupShards [dedupShardCount]dedupShard
 
 	// done closes on Stop; background loops (heartbeats, retries, orphan
 	// drops) gate on it and are tracked in bg so Stop can wait them out.
@@ -122,23 +137,18 @@ func NewSystem(cfg Config) (*System, error) {
 	peers := append([]transport.NodeID(nil), cfg.Peers...)
 	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
 	s := &System{
-		cfg:         cfg,
-		tr:          cfg.Transport,
-		peers:       peers,
-		types:       make(map[string]Factory),
-		activations: make(map[Ref]*activation),
-		dirEntries:  make(map[Ref]dirEntry),
-		locCache:    make(map[Ref]transport.NodeID),
-		vertexRefs:  make(map[uint64]Ref),
-		pending:     make(map[uint64]chan *transport.Envelope),
-		rng:         rand.New(rand.NewSource(cfg.Seed ^ int64(hashNode(cfg.Transport.Node())))),
-		monitor:     partition.NewMonitor(cfg.MonitorCapacity),
-		members:     make(map[transport.NodeID]*memberEntry, len(peers)),
-		dedup:       make(map[dedupKey]*dedupEntry),
-		done:        make(chan struct{}),
-		sampler:     trace.NewSampler(cfg.TraceSampleRate),
-		spans:       trace.NewRing(cfg.TraceRingSize),
+		cfg:     cfg,
+		tr:      cfg.Transport,
+		peers:   peers,
+		types:   make(map[string]Factory),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(hashNode(cfg.Transport.Node())))),
+		monitor: partition.NewMonitor(cfg.MonitorCapacity),
+		members: make(map[transport.NodeID]*memberEntry, len(peers)),
+		done:    make(chan struct{}),
+		sampler: trace.NewSampler(cfg.TraceSampleRate),
+		spans:   trace.NewRing(cfg.TraceRingSize),
 	}
+	s.initShards(cfg.LocCacheSize)
 	s.sampler.Seed(hashNode(cfg.Transport.Node()))
 	if cfg.Metrics != nil {
 		s.callDur = cfg.Metrics.Summary("actop_call_duration_seconds",
@@ -147,6 +157,7 @@ func NewSystem(cfg Config) (*System, error) {
 			"traced call latency decomposition by method and component", "method", "component")
 		s.srvDur = cfg.Metrics.Summary("actop_served_call_duration_seconds",
 			"inbound call latency by method, receive to reply enqueue (callee side)", "method")
+		s.registerShardMetrics()
 	}
 	for _, p := range peers {
 		if p != s.Node() {
@@ -252,9 +263,7 @@ type Stats struct {
 
 // Stats snapshots the node counters.
 func (s *System) Stats() Stats {
-	s.mu.RLock()
-	n := len(s.activations)
-	s.mu.RUnlock()
+	n := s.activationsLen()
 	s.monMu.Lock()
 	edges := s.monitor.EdgeCount()
 	s.monMu.Unlock()
@@ -387,7 +396,7 @@ func (s *System) callLocalValue(sp *trace.Span, to Ref, method string, args, rep
 		}
 		argsCopy = c.CopyValue()
 	}
-	act, err := s.activationFor(to, true)
+	act, err := s.activationFor(to, true, false)
 	if err != nil || act == nil {
 		return false, nil
 	}
@@ -450,13 +459,13 @@ func (s *System) dispatchRetry(to Ref, method string, args []byte, sp *trace.Spa
 	deadline := time.Now().Add(s.cfg.CallTimeout)
 	callID := s.nextID.Add(1)
 	if s.cfg.DisableFailover {
-		res, err = s.dispatch(to, method, args, 0, callID, deadline, sp)
+		res, err = s.dispatch(to, method, args, 0, callID, deadline, "", sp)
 		return res, err, !errors.Is(err, ErrTimeout)
 	}
 	backoff := s.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		start := time.Now()
-		res, err = s.dispatch(to, method, args, 0, callID, deadline, sp)
+		res, err = s.dispatch(to, method, args, 0, callID, deadline, "", sp)
 		if err == nil {
 			return res, nil, attempt == 0
 		}
@@ -468,10 +477,11 @@ func (s *System) dispatchRetry(to Ref, method string, args []byte, sp *trace.Spa
 			// entry that routed us there is poison, so re-resolve through
 			// the directory next attempt. A plain timeout must NOT purge
 			// the cache — after a migration whose directory update is
-			// still in flight, the source's cache redirect is the only
-			// correct route, and the directory is the staler of the two;
-			// re-resolving through it would re-place the actor on a node
-			// that already handed it off (split brain).
+			// still in flight, the source's forwarding tombstone (mirrored
+			// into caches by its redirects) is the only correct route, and
+			// the directory is the staler of the two; re-resolving through
+			// it would re-place the actor on a node that already handed it
+			// off (split brain).
 			s.cacheDel(to)
 		}
 		wait := s.jitter(backoff)
@@ -505,7 +515,8 @@ func (s *System) dispatchRetry(to Ref, method string, args []byte, sp *trace.Spa
 func retryable(err error) bool {
 	return errors.Is(err, transport.ErrUnreachable) ||
 		errors.Is(err, errPeerDown) ||
-		errors.Is(err, ErrTimeout)
+		errors.Is(err, ErrTimeout) ||
+		errors.Is(err, errRedirectChase)
 }
 
 // jitter spreads a backoff delay over [0.5d, 1.5d) so retry storms from
@@ -538,28 +549,46 @@ func (s *System) attemptTimeout(deadline time.Time) time.Duration {
 	return cap
 }
 
-// dispatch routes one encoded invocation, following redirects.
-func (s *System) dispatch(to Ref, method string, args []byte, depth int, callID uint64, deadline time.Time, sp *trace.Span) ([]byte, error) {
+// dispatch routes one encoded invocation, following redirects. hint, when
+// non-empty, names the next hop directly (a redirect target from the
+// previous hop) and overrides local resolution: the redirecting node's
+// knowledge is strictly fresher than anything held here, and re-resolving
+// locally could bounce the chase back through a stale route of our own (a
+// not-yet-expired forwarding tombstone from an old outbound migration
+// outranks the cache, so without the hint every hop re-resolved to the
+// same stale target and the chase never advanced).
+func (s *System) dispatch(to Ref, method string, args []byte, depth int, callID uint64, deadline time.Time, hint transport.NodeID, sp *trace.Span) ([]byte, error) {
 	if depth > 3 {
-		return nil, fmt.Errorf("actor: too many redirects for %s", to)
+		return nil, fmt.Errorf("%w for %s", errRedirectChase, to)
 	}
-	node, err := s.locate(to, true, deadline)
-	if err != nil {
-		return nil, err
+	node := hint
+	if node == "" {
+		var err error
+		node, err = s.locate(to, true, deadline)
+		if err != nil {
+			return nil, err
+		}
 	}
+	var res []byte
+	var err error
 	if node == s.Node() {
 		s.callsLocal.Add(1)
-		return s.invokeLocal(to, method, args, deadline, sp)
+		res, err = s.invokeLocal(to, method, args, deadline, sp)
+	} else {
+		if !s.cfg.DisableFailover && s.PeerStateOf(node) == PeerDead {
+			// Fail fast instead of waiting out a timeout against a node the
+			// detector already declared dead; the retry re-resolves through
+			// the (purged) directory to a live host.
+			return nil, fmt.Errorf("%w: %s is dead", errPeerDown, node)
+		}
+		s.callsRemote.Add(1)
+		res, err = s.remoteCall(node, to, method, args, callID, s.attemptTimeout(deadline), sp)
 	}
-	if !s.cfg.DisableFailover && s.PeerStateOf(node) == PeerDead {
-		// Fail fast instead of waiting out a timeout against a node the
-		// detector already declared dead; the retry re-resolves through
-		// the (purged) directory to a live host.
-		return nil, fmt.Errorf("%w: %s is dead", errPeerDown, node)
-	}
-	s.callsRemote.Add(1)
-	res, err := s.remoteCall(node, to, method, args, callID, s.attemptTimeout(deadline), sp)
 	if err != nil {
+		// A redirect continues the chase whether the hop was remote or local:
+		// a hinted hop can land back on this node (the redirecting peer
+		// believed the actor returned here) and invokeLocal answers with a
+		// redirect of its own when it is not the host.
 		var redir redirectError
 		if errors.As(err, &redir) {
 			s.redirects.Add(1)
@@ -567,9 +596,9 @@ func (s *System) dispatch(to Ref, method string, args []byte, depth int, callID 
 				sp.Redirects++
 			}
 			s.cachePut(to, redir.node)
-			return s.dispatch(to, method, args, depth+1, callID, deadline, sp)
+			return s.dispatch(to, method, args, depth+1, callID, deadline, redir.node, sp)
 		}
-		if errors.Is(err, ErrTimeout) && s.PeerStateOf(node) != PeerAlive {
+		if errors.Is(err, ErrTimeout) && node != s.Node() && s.PeerStateOf(node) != PeerAlive {
 			return nil, fmt.Errorf("%w: %w", errPeerDown, err)
 		}
 		return nil, err
@@ -586,13 +615,14 @@ func (e redirectError) Error() string { return "actor: redirected to " + string(
 // the caller's full deadline — local execution has no lost-message failure
 // mode, so chunked attempts would only risk double-enqueueing the turn.
 func (s *System) invokeLocal(to Ref, method string, args []byte, deadline time.Time, sp *trace.Span) ([]byte, error) {
-	act, err := s.activationFor(to, true)
+	act, err := s.activationFor(to, true, true)
 	if err != nil {
 		return nil, err
 	}
 	if act == nil {
-		// We are not (or no longer) the host: redirect through routing.
-		node, err := s.locate(to, false, deadline)
+		// We are not (or no longer) the host: redirect with the routed
+		// resolution's answer (tombstone or directory — see locateDir).
+		node, err := s.locateDir(to, false, deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -642,14 +672,8 @@ func (s *System) invokeLocal(to Ref, method string, args []byte, deadline time.T
 // within dispatchRetry.
 func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args []byte, id uint64, timeout time.Duration, sp *trace.Span) ([]byte, error) {
 	ch := make(chan *transport.Envelope, 1)
-	s.pendMu.Lock()
-	s.pending[id] = ch
-	s.pendMu.Unlock()
-	defer func() {
-		s.pendMu.Lock()
-		delete(s.pending, id)
-		s.pendMu.Unlock()
-	}()
+	s.pendPut(id, ch)
+	defer s.pendDel(id)
 
 	env := &transport.Envelope{
 		Kind: transport.KindCall, ID: id,
@@ -719,6 +743,14 @@ func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args [
 				if strings.HasPrefix(reply.Err, redirectPrefix) {
 					return nil, redirectError{node: transport.NodeID(strings.TrimPrefix(reply.Err, redirectPrefix))}
 				}
+				if strings.HasPrefix(reply.Err, errRedirectChase.Error()) {
+					// A forwarded invocation exhausted its redirect budget on
+					// the remote node. Rehydrate the sentinel so the origin's
+					// retry loop treats it as the transient it is — the wire
+					// carries only the string, not the error identity.
+					return nil, fmt.Errorf("%w%s", errRedirectChase,
+						strings.TrimPrefix(reply.Err, errRedirectChase.Error()))
+				}
 				return nil, errors.New(reply.Err)
 			}
 			return reply.Payload, nil
@@ -730,12 +762,26 @@ func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args [
 	}
 }
 
-// onEnvelope is the transport inbound handler: everything funnels through
-// the receive stage (deserialization/demux — Fig. 2). Traced calls go
-// through the timed submit so their receive-stage queue wait lands in the
-// server span; the untraced path is unchanged.
+// onEnvelope is the transport inbound handler. Calls and control verbs
+// funnel through the receive stage (deserialization/demux — Fig. 2); traced
+// calls go through the timed submit so their receive-stage queue wait lands
+// in the server span. Replies are demuxed inline on the transport goroutine:
+// demux is non-blocking (a striped map lookup plus a non-blocking channel
+// send), and routing replies through the stage deadlocked the receive plane
+// whenever every receive worker was parked in a synchronous control call
+// (handleCall's remote directory lookup) — the replies those workers were
+// waiting for sat in the queue behind them until the call timeout fired.
 func (s *System) onEnvelope(env *transport.Envelope) {
 	e := env
+	if e.Kind == transport.KindReply {
+		if ch := s.pendGet(e.ID); ch != nil {
+			select {
+			case ch <- e:
+			default:
+			}
+		}
+		return
+	}
 	var err error
 	if e.Trace != nil && e.Kind == transport.KindCall {
 		err = s.recvStage.SubmitTimed(func(wait time.Duration) { s.handleCall(e, wait) })
@@ -752,16 +798,6 @@ func (s *System) onEnvelope(env *transport.Envelope) {
 
 func (s *System) handle(env *transport.Envelope) {
 	switch env.Kind {
-	case transport.KindReply:
-		s.pendMu.Lock()
-		ch := s.pending[env.ID]
-		s.pendMu.Unlock()
-		if ch != nil {
-			select {
-			case ch <- env:
-			default:
-			}
-		}
 	case transport.KindCall:
 		s.handleCall(env, 0)
 	case transport.KindControl:
@@ -782,37 +818,68 @@ type dedupKey struct {
 // entry is pending (done=false) and duplicate deliveries are simply
 // dropped — the running turn's reply carries the same id the retrying
 // caller is waiting on. Once done, duplicates are answered from the record.
+// canceled marks a delivery that resolved without a turn (see dedupCancel);
+// the next delivery of the key runs as if it were the first.
 type dedupEntry struct {
-	done    bool
-	payload []byte
-	errStr  string
+	done     bool
+	canceled bool
+	payload  []byte
+	errStr   string
 }
 
-// dedupWindow bounds the recorded-reply window (FIFO eviction). Entries
-// only need to outlive one call's retry schedule, which the CallTimeout
-// budget bounds; 8192 in-flight-or-recent remote calls per node is far
-// beyond that horizon at any load the queues admit.
+// dedupWindow bounds the recorded-reply window (FIFO eviction, split
+// evenly across dedupShardCount stripes). Entries only need to outlive one
+// call's retry schedule, which the CallTimeout budget bounds; 8192
+// in-flight-or-recent remote calls per node is far beyond that horizon at
+// any load the queues admit.
 const dedupWindow = 8192
+
+// dedupShard is one stripe of the reply-dedup window, with its own FIFO
+// order ring (head-indexed so eviction never leaks the backing array).
+type dedupShard struct {
+	mu    sync.Mutex
+	m     map[dedupKey]*dedupEntry
+	order []dedupKey
+	head  int
+}
+
+// dedupShardOf stripes by caller identity XOR call id: one caller's
+// consecutive calls spread across stripes, and distinct callers never
+// collide on a stripe systematically.
+func (s *System) dedupShardOf(key dedupKey) *dedupShard {
+	return &s.dedupShards[(strHash(string(key.from))^key.id)&(dedupShardCount-1)]
+}
 
 // dedupBegin claims the dedup slot for a call delivery. It returns
 // proceed=true exactly once per key while the entry is resident — the
 // caller must finish with dedupResolve. Duplicate deliveries return the
 // recorded entry (nil while the original is still executing).
 func (s *System) dedupBegin(key dedupKey) (proceed bool, prior *dedupEntry) {
-	s.dedupMu.Lock()
-	defer s.dedupMu.Unlock()
-	if e, ok := s.dedup[key]; ok {
+	d := s.dedupShardOf(key)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.m[key]; ok {
+		if e.canceled {
+			// A prior delivery answered with routing control flow, not a
+			// turn; revive the slot so this delivery resolves fresh.
+			*e = dedupEntry{}
+			return true, nil
+		}
 		if !e.done {
 			return false, nil
 		}
 		return false, e
 	}
-	s.dedup[key] = &dedupEntry{}
-	s.dedupOrder = append(s.dedupOrder, key)
-	if len(s.dedupOrder) > dedupWindow {
-		evict := s.dedupOrder[0]
-		s.dedupOrder = s.dedupOrder[1:]
-		delete(s.dedup, evict)
+	d.m[key] = &dedupEntry{}
+	d.order = append(d.order, key)
+	if len(d.order)-d.head > dedupWindow/dedupShardCount {
+		delete(d.m, d.order[d.head])
+		d.order[d.head] = dedupKey{}
+		d.head++
+		if d.head >= len(d.order)/2 && d.head > 64 {
+			d.order = append(d.order[:0], d.order[d.head:]...)
+			d.head = 0
+		}
 	}
 	return true, nil
 }
@@ -825,13 +892,31 @@ func (s *System) dedupResolve(key dedupKey, payload []byte, errStr string) {
 	if len(payload) > 0 {
 		cp = append(make([]byte, 0, len(payload)), payload...)
 	}
-	s.dedupMu.Lock()
-	if e, ok := s.dedup[key]; ok {
+	d := s.dedupShardOf(key)
+	d.mu.Lock()
+	if e, ok := d.m[key]; ok {
 		e.done = true
 		e.payload = cp
 		e.errStr = errStr
 	}
-	s.dedupMu.Unlock()
+	d.mu.Unlock()
+}
+
+// dedupCancel releases a pending dedup entry whose delivery resolved
+// without executing a turn (a redirect or a routing dead end). Those
+// outcomes describe the routing plane at one instant, not the call: a
+// retried id must re-consult routing, not replay a recorded redirect —
+// recording one pins every retry of that call to a stale route for the
+// rest of the window (the actor has often arrived here by then). The entry
+// is marked rather than deleted so its slot in the eviction order stays
+// unique; dedupBegin revives it as pending on the next delivery.
+func (s *System) dedupCancel(key dedupKey) {
+	d := s.dedupShardOf(key)
+	d.mu.Lock()
+	if e, ok := d.m[key]; ok {
+		e.canceled = true
+	}
+	d.mu.Unlock()
 }
 
 // handleCall delivers a remote invocation to the local activation, or
@@ -890,7 +975,19 @@ func (s *System) handleCall(env *transport.Envelope, recvWait time.Duration) {
 			s.srvDur.Observe(time.Since(srvStart), env.Method)
 		}
 		if !s.cfg.DisableFailover {
-			s.dedupResolve(key, data, errStr)
+			// Redirects and routing dead ends are answers about where the
+			// actor was, not what its turn returned. Recording them would
+			// replay a stale route to every retry of this call id for the
+			// rest of the window — a retried chase could orbit the cluster
+			// on echoes long after the actor settled. Release the slot so
+			// the retry re-resolves; only executed turns (and real
+			// application errors) are deduplicated.
+			if strings.HasPrefix(errStr, redirectPrefix) ||
+				strings.HasPrefix(errStr, "actor: cannot route") {
+				s.dedupCancel(key)
+			} else {
+				s.dedupResolve(key, data, errStr)
+			}
 		}
 		var rt *transport.Trace
 		if tr != nil {
@@ -906,13 +1003,25 @@ func (s *System) handleCall(env *transport.Envelope, recvWait time.Duration) {
 		}
 		s.sendReply(from, id, data, errStr, rt, sp)
 	}
-	act, err := s.activationFor(to, true)
-	if err != nil {
-		respond(nil, err)
-		return
-	}
-	if act == nil {
-		node, lerr := s.locate(to, false, time.Now().Add(s.cfg.CallTimeout))
+	var act *activation
+	for attempt := 0; ; attempt++ {
+		var err error
+		act, err = s.activationFor(to, true, true)
+		if err != nil {
+			respond(nil, err)
+			return
+		}
+		if act != nil {
+			break
+		}
+		node, lerr := s.locateDir(to, false, time.Now().Add(s.cfg.CallTimeout))
+		if lerr == nil && node == s.Node() && attempt < 2 {
+			// activationFor routed the actor elsewhere, but by now the
+			// location plane says it lives here — a migration landed (or a
+			// stale cached route was invalidated) between the two checks.
+			// Re-resolve instead of bouncing the caller with a dead end.
+			continue
+		}
 		if lerr != nil || node == s.Node() {
 			respond(nil, fmt.Errorf("actor: cannot route %s", to))
 			return
@@ -969,47 +1078,63 @@ func (s *System) replyErr(env *transport.Envelope, msg string) {
 // that peer is declared dead its ranges — and only its ranges — rehash to
 // survivors by rendezvous hashing.
 
-func (s *System) cacheGet(ref Ref) (transport.NodeID, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, ok := s.locCache[ref]
-	return n, ok
-}
-
-func (s *System) cachePut(ref Ref, node transport.NodeID) {
-	s.mu.Lock()
-	// Bound the cache crudely: reset when huge (old entries are evicted to
-	// keep space overhead low, §4.3).
-	if len(s.locCache) > 1<<17 {
-		s.locCache = make(map[Ref]transport.NodeID)
-	}
-	s.locCache[ref] = node
-	s.vertexRefs[uint64(ref.Vertex())] = ref
-	s.mu.Unlock()
-}
-
-// cacheDel drops a possibly poisoned location-cache entry so the next
-// attempt re-resolves through the directory.
-func (s *System) cacheDel(ref Ref) {
-	s.mu.Lock()
-	delete(s.locCache, ref)
-	s.mu.Unlock()
-}
-
-// locate resolves ref's hosting node: local activation wins, then the
-// location cache, then the directory owner (placing the actor on a node
-// according to the placement policy when unregistered and place is true).
+// locate resolves ref's hosting node for a CALLER-SIDE first hop: local
+// activation wins, then a live forwarding tombstone (authoritative — the
+// actor just migrated off this node), then the location cache, then the
+// directory owner (placing the actor on a node according to the placement
+// policy when unregistered and place is true). The local checks share one
+// shard read-lock — the per-call fast path is a single striped acquisition.
 // The directory RPC is bounded by the caller's deadline so a mid-lookup
 // owner failure surfaces in time to retry against the rehashed owner.
 func (s *System) locate(ref Ref, place bool, deadline time.Time) (transport.NodeID, error) {
-	s.mu.RLock()
-	_, local := s.activations[ref]
-	s.mu.RUnlock()
-	if local {
+	sh := s.shardOf(ref)
+	sh.mu.RLock()
+	if _, ok := sh.activations[ref]; ok {
+		sh.mu.RUnlock()
 		return s.Node(), nil
 	}
-	if n, ok := s.cacheGet(ref); ok {
+	if f, ok := sh.forwards[ref]; ok && time.Now().Before(f.expires) {
+		sh.mu.RUnlock()
+		return f.node, nil
+	}
+	if e, ok := sh.locCache[ref]; ok {
+		n := e.node
+		if !e.used.Load() { // avoid dirtying the line on every repeat hit
+			e.used.Store(true)
+		}
+		sh.mu.RUnlock()
+		s.locHits.Add(1)
 		return n, nil
+	}
+	sh.mu.RUnlock()
+	s.locMisses.Add(1)
+	return s.locateDir(ref, place, deadline)
+}
+
+// locateDir resolves ref for ROUTED deliveries (a call some caller already
+// steered here) and for locate's cache-miss path: local activation, then a
+// live forwarding tombstone, then directory authority — never the location
+// cache. Both skips matter. Skipping the cache breaks stale-route cycles: a
+// deactivated actor's leftover routes can point a ring of non-hosts at each
+// other, and if each bounced callers with its cached guess, nobody would
+// ever consult the owner and the directory-designated home would never
+// activate — the actor stays unreachable until the routes happen to evict.
+// Honoring the tombstone covers the opposite window: right after a
+// migration the directory may still name this node (its update retries in
+// the background under loss), and following it would re-instantiate an
+// actor whose state just left. The tombstone is the migration's own
+// authoritative forward, so it outranks the lagging directory.
+func (s *System) locateDir(ref Ref, place bool, deadline time.Time) (transport.NodeID, error) {
+	sh := s.shardOf(ref)
+	sh.mu.RLock()
+	_, active := sh.activations[ref]
+	fwd, haveFwd := sh.forwards[ref]
+	sh.mu.RUnlock()
+	if active {
+		return s.Node(), nil
+	}
+	if haveFwd && time.Now().Before(fwd.expires) {
+		return fwd.node, nil
 	}
 	owner := s.directoryOwner(ref)
 	if owner == s.Node() {
@@ -1044,14 +1169,15 @@ func (s *System) dirLookupLocal(ref Ref, suggest transport.NodeID, place bool) (
 	dead := func(n transport.NodeID) bool {
 		return !s.cfg.DisableFailover && s.PeerStateOf(n) == PeerDead
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.dirEntries[ref]; ok {
+	sh := s.shardOf(ref)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.dirEntries[ref]; ok {
 		if !dead(e.node) {
 			return e.node, nil
 		}
-		delete(s.dirEntries, ref)
-		delete(s.locCache, ref)
+		delete(sh.dirEntries, ref)
+		delete(sh.locCache, ref)
 		s.failures.FailoverPurged.Add(1)
 	}
 	if !place {
@@ -1066,7 +1192,7 @@ func (s *System) dirLookupLocal(ref Ref, suggest transport.NodeID, place bool) (
 		n = live[s.rng.Intn(len(live))]
 		s.rngMu.Unlock()
 	}
-	s.dirEntries[ref] = dirEntry{node: n}
+	sh.dirEntries[ref] = dirEntry{node: n}
 	return n, nil
 }
 
@@ -1114,14 +1240,8 @@ func (s *System) controlCallT(node transport.NodeID, verb string, args, reply in
 	}
 	id := s.nextID.Add(1)
 	ch := make(chan *transport.Envelope, 1)
-	s.pendMu.Lock()
-	s.pending[id] = ch
-	s.pendMu.Unlock()
-	defer func() {
-		s.pendMu.Lock()
-		delete(s.pending, id)
-		s.pendMu.Unlock()
-	}()
+	s.pendPut(id, ch)
+	defer s.pendDel(id)
 	env := &transport.Envelope{Kind: transport.KindControl, ID: id, Method: verb, Payload: data}
 	if err := s.tr.Send(node, env); err != nil {
 		return err
@@ -1171,16 +1291,17 @@ func (s *System) handleControlVerb(verb string, payload []byte, from transport.N
 			return nil, err
 		}
 		ref := Ref{Type: req.Type, Key: req.Key}
-		s.mu.Lock()
+		sh := s.shardOf(ref)
+		sh.mu.Lock()
 		// Epoch guard: updates arrive out of order (lost ones are retried in
 		// the background for seconds), so a stale retry from an older
 		// migration must not rewind a newer entry — nor stomp the owner's
 		// location cache with a pointer the actor already left behind.
-		if cur, ok := s.dirEntries[ref]; !ok || req.Epoch >= cur.epoch {
-			s.dirEntries[ref] = dirEntry{node: transport.NodeID(req.NewNode), epoch: req.Epoch}
-			s.locCache[ref] = transport.NodeID(req.NewNode)
+		if cur, ok := sh.dirEntries[ref]; !ok || req.Epoch >= cur.epoch {
+			sh.dirEntries[ref] = dirEntry{node: transport.NodeID(req.NewNode), epoch: req.Epoch}
+			s.cacheInsertLocked(sh, ref, transport.NodeID(req.NewNode))
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return codec.Marshal(ctlPlacementOK)
 	case ctlDirRemove:
 		var req dirRequest
@@ -1188,10 +1309,11 @@ func (s *System) handleControlVerb(verb string, payload []byte, from transport.N
 			return nil, err
 		}
 		ref := Ref{Type: req.Type, Key: req.Key}
-		s.mu.Lock()
-		delete(s.dirEntries, ref)
-		delete(s.locCache, ref)
-		s.mu.Unlock()
+		sh := s.shardOf(ref)
+		sh.mu.Lock()
+		delete(sh.dirEntries, ref)
+		delete(sh.locCache, ref)
+		sh.mu.Unlock()
 		return codec.Marshal(ctlPlacementOK)
 	case ctlMigratePut:
 		return s.handleMigratePut(payload)
@@ -1221,21 +1343,29 @@ func (s *System) handleControlVerb(verb string, payload []byte, from transport.N
 }
 
 // observeEdge feeds the communication monitor (§4.3) and remembers the
-// vertex↔ref mapping for migration decisions.
+// vertex↔ref mapping for migration decisions. The two vertex entries may
+// land in different shards; they are taken one at a time (never nested), so
+// no lock ordering is induced.
 func (s *System) observeEdge(from, to Ref) {
-	s.mu.Lock()
-	s.vertexRefs[uint64(from.Vertex())] = from
-	s.vertexRefs[uint64(to.Vertex())] = to
-	s.mu.Unlock()
+	fh, th := refHash(from), refHash(to)
+	sh := s.shardOfVertex(fh)
+	sh.mu.Lock()
+	sh.vertexRefs[fh] = from
+	sh.mu.Unlock()
+	sh = s.shardOfVertex(th)
+	sh.mu.Lock()
+	sh.vertexRefs[th] = to
+	sh.mu.Unlock()
 	s.monMu.Lock()
-	s.monitor.ObserveMessage(from.Vertex(), to.Vertex(), 1)
+	s.monitor.ObserveMessage(graph.Vertex(fh), graph.Vertex(th), 1)
 	s.monMu.Unlock()
 }
 
 // refOf maps a monitored vertex back to its ref.
 func (s *System) refOf(v uint64) (Ref, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.vertexRefs[v]
+	sh := s.shardOfVertex(v)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.vertexRefs[v]
 	return r, ok
 }

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramBinaryRoundTrip(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10_000; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(5 * time.Second))))
+	}
+	h.RecordN(time.Hour*10, 3) // overflow bucket
+
+	var back Histogram
+	if err := back.UnmarshalBinary(h.AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Min() != h.Min() || back.Max() != h.Max() {
+		t.Fatalf("count/min/max mismatch: %v vs %v", back.Summarize(), h.Summarize())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.95, 0.99, 0.999} {
+		if back.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("q%.3f mismatch: %v vs %v", q, back.Quantile(q), h.Quantile(q))
+		}
+	}
+	if back.Mean() != h.Mean() {
+		t.Fatalf("mean mismatch: %v vs %v", back.Mean(), h.Mean())
+	}
+
+	// Decoded histograms must merge like the originals.
+	var h2, merged, mergedBack Histogram
+	for i := 0; i < 1000; i++ {
+		h2.Record(time.Duration(rng.Int63n(int64(time.Millisecond))))
+	}
+	merged.Merge(&h)
+	merged.Merge(&h2)
+	var back2 Histogram
+	if err := back2.UnmarshalBinary(h2.AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	mergedBack.Merge(&back)
+	mergedBack.Merge(&back2)
+	if mergedBack.Count() != merged.Count() || mergedBack.Quantile(0.99) != merged.Quantile(0.99) {
+		t.Fatalf("merge mismatch: %v vs %v", mergedBack.Summarize(), merged.Summarize())
+	}
+}
+
+func TestHistogramBinaryEmptyAndErrors(t *testing.T) {
+	var empty, back Histogram
+	if err := back.UnmarshalBinary(empty.AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != 0 {
+		t.Fatalf("empty round trip: count %d", back.Count())
+	}
+	if err := back.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if err := back.UnmarshalBinary([]byte{99}); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	enc := empty.AppendBinary(nil)
+	if err := back.UnmarshalBinary(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
