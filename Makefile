@@ -5,14 +5,15 @@
 GO ?= go
 LINT_BIN := bin/actop-lint
 
-.PHONY: check build test vet staticcheck lint race fuzz-smoke bench-msgplane cluster-smoke bench-scale
+.PHONY: check build test vet staticcheck lint race fuzz-smoke bench-msgplane cluster-smoke bench-scale workloads-smoke bench-workloads
 
 # check is the pre-PR gate: vet (+ staticcheck when installed), the
 # domain lint suite, build everything, race-test the concurrency-heavy
-# packages (transport, actor, seda, codec), then the full tier-1 suite,
-# a short fuzz pass over the wire decoders, and a reduced-scale run of
-# the multi-process cluster benchmark.
-check: vet staticcheck lint build race test fuzz-smoke cluster-smoke
+# packages (transport, actor, seda, codec, loadgen), then the full tier-1
+# suite, a short fuzz pass over the wire decoders, a reduced-scale run of
+# the multi-process cluster benchmark, and the DES-vs-real workload
+# conformance smoke.
+check: vet staticcheck lint build race test fuzz-smoke cluster-smoke workloads-smoke
 
 # lint builds the domain-specific analyzer suite once into bin/ (so
 # repeated runs reuse the Go build cache and the binary) and runs it over
@@ -37,7 +38,7 @@ staticcheck:
 	fi
 
 race:
-	$(GO) test -race -count=1 ./internal/transport/... ./internal/actor/... ./internal/seda/... ./internal/codec/...
+	$(GO) test -race -count=1 ./internal/transport/... ./internal/actor/... ./internal/seda/... ./internal/codec/... ./internal/loadgen/... ./internal/workload/spec/...
 
 test:
 	$(GO) test ./...
@@ -49,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzDecodeEnvelope -fuzztime 10s ./internal/transport
 	$(GO) test -run XXX -fuzz FuzzFrameRead -fuzztime 10s ./internal/codec
 	$(GO) test -run XXX -fuzz FuzzFrameRoundTrip -fuzztime 5s ./internal/codec
+	$(GO) test -run XXX -fuzz FuzzHistogramDecode -fuzztime 5s ./internal/metrics
 
 # bench-msgplane runs the message-plane micro-benchmarks (codec marshal /
 # deep copy, TCP throughput, local/remote call round trips).
@@ -69,3 +71,18 @@ cluster-smoke:
 bench-scale:
 	$(GO) build -o bin/actop-bench ./cmd/actop-bench
 	./bin/actop-bench cluster -out BENCH_scale.json
+
+# workloads-smoke cross-checks every built-in workload spec between the
+# DES and a real 3-node loopback cluster at half scale (no COST baseline)
+# — the conformance gate that a spec means the same thing to both
+# interpreters. The full artifact run is bench-workloads.
+workloads-smoke:
+	$(GO) build -o bin/actop-bench ./cmd/actop-bench
+	./bin/actop-bench workloads -smoke -out bin/BENCH_workloads_smoke.json
+
+# bench-workloads regenerates BENCH_workloads.json: all five scenarios at
+# full scale through both backends, conformance-checked, with per-scenario
+# GOMAXPROCS=1 COST baselines.
+bench-workloads:
+	$(GO) build -o bin/actop-bench ./cmd/actop-bench
+	./bin/actop-bench workloads -out BENCH_workloads.json

@@ -12,7 +12,10 @@
 // subcommands target the real runtime instead of a paper figure: msgplane
 // micro-benchmarks the message plane (codec, TCP transport, local/remote
 // calls), and trace prints a live three-node cluster's end-to-end latency
-// decomposition assembled from hop-carried call tracing.
+// decomposition assembled from hop-carried call tracing. The workloads
+// subcommand runs the declarative workload-spec library through both the
+// simulator and a real loopback-TCP cluster, cross-checks the two, and
+// writes BENCH_workloads.json.
 //
 // By default experiments run at "quick" scale — the same per-server
 // operating point as the paper (load/server, CPU utilization) with a
@@ -41,6 +44,9 @@ func main() {
 			return
 		case "cluster":
 			runClusterBench(os.Args[2:])
+			return
+		case "workloads":
+			runWorkloadsBench(os.Args[2:])
 			return
 		}
 	}
@@ -184,6 +190,9 @@ experiments:
   trace       live-cluster latency decomposition from hop-carried tracing
   cluster     multi-process loopback-TCP cluster at 100K–1M live actors
               (own flags; see actop-bench cluster -h)
+  workloads   declarative workload specs through DES and a real cluster,
+              conformance-checked, with GOMAXPROCS=1 COST baselines
+              (own flags; see actop-bench workloads -h)
   all         every figure above (not msgplane/trace/cluster)
 
 flags:`)

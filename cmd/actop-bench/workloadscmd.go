@@ -1,0 +1,234 @@
+package main
+
+// The workloads subcommand (ISSUE 7): run every built-in workload spec
+// through both interpreters — the discrete-event simulator and a real
+// in-process loopback-TCP cluster — conformance-check the pair, and record
+// the results as BENCH_workloads.json. Each scenario also gets a COST
+// baseline (same spec, one node, GOMAXPROCS=1) so the artifact states what
+// a single thread achieves before any distribution is credited.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"actop/internal/actor"
+	"actop/internal/loadgen"
+	"actop/internal/transport"
+	"actop/internal/workload/spec"
+)
+
+// wlBackend is one backend's measurement of one scenario, as reported.
+type wlBackend struct {
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	Amplification float64 `json:"calls_per_op"`
+	Submitted     uint64  `json:"submitted"`
+	Completed     uint64  `json:"completed"`
+	P50Micros     float64 `json:"p50_us"`
+	P99Micros     float64 `json:"p99_us"`
+}
+
+func wlSummarize(r *spec.Result) wlBackend {
+	return wlBackend{
+		OpsPerSec:     r.OpsPerSec(),
+		Amplification: r.Amplification(),
+		Submitted:     r.Submitted,
+		Completed:     r.Completed,
+		P50Micros:     float64(r.Latency.Quantile(0.50)) / 1e3,
+		P99Micros:     float64(r.Latency.Quantile(0.99)) / 1e3,
+	}
+}
+
+// wlScenario is one row of BENCH_workloads.json.
+type wlScenario struct {
+	Name          string     `json:"name"`
+	Description   string     `json:"description"`
+	DES           wlBackend  `json:"des"`
+	Real          wlBackend  `json:"real"`
+	Cost          *wlBackend `json:"cost_gomaxprocs1,omitempty"`
+	SpeedupVsCost float64    `json:"speedup_vs_cost,omitempty"`
+	Violations    []string   `json:"violations,omitempty"`
+	Conforms      bool       `json:"conforms"`
+}
+
+type wlReport struct {
+	Generated  string       `json:"generated"`
+	Cores      int          `json:"cores"`
+	GoVersion  string       `json:"go_version"`
+	Scale      float64      `json:"scale"`
+	Nodes      int          `json:"nodes"`
+	Note       string       `json:"note"`
+	Scenarios  []wlScenario `json:"scenarios"`
+	RankErrors []string     `json:"rank_errors,omitempty"`
+}
+
+// wlCluster stands up n real nodes over loopback TCP and returns them plus
+// a teardown closure.
+func wlCluster(n, workers int, seed int64) ([]*actor.System, func()) {
+	trs := make([]transport.Transport, n)
+	peers := make([]transport.NodeID, n)
+	for i := range trs {
+		tr, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			fatalf("workloads: listen: %v", err)
+		}
+		trs[i] = tr
+		peers[i] = tr.Node()
+	}
+	systems := make([]*actor.System, n)
+	for i := range trs {
+		sys, err := actor.NewSystem(actor.Config{
+			Transport: trs[i], Peers: peers,
+			Workers: workers, Seed: seed + int64(i),
+			CallTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			fatalf("workloads: node %d: %v", i, err)
+		}
+		systems[i] = sys
+	}
+	return systems, func() {
+		for _, sys := range systems {
+			sys.Stop()
+		}
+	}
+}
+
+// wlRunReal drives one scenario against a fresh real cluster.
+func wlRunReal(sc *spec.Scenario, nodes, workers int) (*spec.Result, error) {
+	systems, stop := wlCluster(nodes, workers, 11)
+	defer stop()
+	runner, err := loadgen.New(&sc.Spec, systems)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Run(loadgen.Options{})
+}
+
+func runWorkloadsBench(args []string) {
+	fs := flag.NewFlagSet("workloads", flag.ExitOnError)
+	var (
+		smoke = fs.Bool("smoke", false, "short conformance check: half scale, no COST baseline")
+		scale = fs.Float64("scale", 1, "population/rate scale applied to every scenario")
+		nodes = fs.Int("nodes", 3, "real-cluster node count")
+		out   = fs.String("out", "BENCH_workloads.json", "result file (\"-\" = stdout only)")
+		cost  = fs.Bool("cost", true, "also run the GOMAXPROCS=1 COST baseline per scenario")
+	)
+	fs.Parse(args)
+	if *smoke {
+		*scale = *scale / 2
+		*cost = false
+	}
+
+	report := wlReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Cores:     runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Scale:     *scale,
+		Nodes:     *nodes,
+		Note: "Each scenario runs the same precomputed schedule through the DES and a real " +
+			"loopback-TCP cluster; conformance = invariants on both plus throughput/amplification " +
+			"agreement within the scenario's tolerance. COST baseline = same spec, one node, " +
+			"GOMAXPROCS=1 (one OS thread, full worker pool). Open-loop runs that keep up with " +
+			"the schedule report speedup ≈ 1 by construction; the latency quantiles carry the " +
+			"contention signal.",
+	}
+
+	scenarios := spec.Scenarios(*scale)
+	names := make([]string, 0, len(scenarios))
+	desMed := make([]time.Duration, 0, len(scenarios))
+	realMed := make([]time.Duration, 0, len(scenarios))
+	failed := false
+
+	for i := range scenarios {
+		sc := &scenarios[i]
+		fmt.Printf("=== workload %s ===\n", sc.Spec.Name)
+		row := wlScenario{Name: sc.Spec.Name, Description: sc.Spec.Description}
+
+		desRun, err := spec.RunDES(&sc.Spec, spec.DESOptions{Servers: *nodes})
+		if err != nil {
+			fatalf("workloads: %s DES: %v", sc.Spec.Name, err)
+		}
+		des := &desRun.Result
+		row.DES = wlSummarize(des)
+
+		real, err := wlRunReal(sc, *nodes, 16)
+		if err != nil {
+			fatalf("workloads: %s real: %v", sc.Spec.Name, err)
+		}
+		row.Real = wlSummarize(real)
+
+		var viol []error
+		viol = append(viol, des.CheckInvariants(&sc.Spec)...)
+		viol = append(viol, real.CheckInvariants(&sc.Spec)...)
+		viol = append(viol, spec.Compare(&sc.Spec, des, real, sc.Tol)...)
+		for _, v := range viol {
+			row.Violations = append(row.Violations, v.Error())
+			fmt.Printf("  VIOLATION: %v\n", v)
+		}
+		row.Conforms = len(viol) == 0
+		if !row.Conforms {
+			failed = true
+		}
+
+		if *cost {
+			// One node, one OS thread, same worker-pool config: fan-out
+			// trees hold a worker per in-flight hop, so the pool must stay
+			// deep enough to execute nested turns — COST pins the hardware,
+			// not the software.
+			prev := runtime.GOMAXPROCS(1)
+			costRes, err := wlRunReal(sc, 1, 16)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				fatalf("workloads: %s COST: %v", sc.Spec.Name, err)
+			}
+			c := wlSummarize(costRes)
+			row.Cost = &c
+			if c.OpsPerSec > 0 {
+				row.SpeedupVsCost = row.Real.OpsPerSec / c.OpsPerSec
+			}
+		}
+
+		fmt.Printf("DES  %7.1f ops/s  %5.2f calls/op  p50 %6.0fµs  p99 %6.0fµs\n",
+			row.DES.OpsPerSec, row.DES.Amplification, row.DES.P50Micros, row.DES.P99Micros)
+		fmt.Printf("real %7.1f ops/s  %5.2f calls/op  p50 %6.0fµs  p99 %6.0fµs",
+			row.Real.OpsPerSec, row.Real.Amplification, row.Real.P50Micros, row.Real.P99Micros)
+		if row.Cost != nil {
+			fmt.Printf("  (COST %.1f ops/s, %.2f× speedup)", row.Cost.OpsPerSec, row.SpeedupVsCost)
+		}
+		if row.Conforms {
+			fmt.Printf("  conforms ✓\n")
+		} else {
+			fmt.Printf("  CONFORMANCE FAILED\n")
+		}
+
+		report.Scenarios = append(report.Scenarios, row)
+		names = append(names, sc.Spec.Name)
+		desMed = append(desMed, des.Latency.Quantile(0.5))
+		realMed = append(realMed, real.Latency.Quantile(0.5))
+	}
+
+	// Cross-scenario latency-shape check: every pair the DES clearly
+	// separates must rank the same way on the real cluster.
+	for _, err := range spec.RankCheck(names, desMed, realMed, 3) {
+		report.RankErrors = append(report.RankErrors, err.Error())
+		fmt.Printf("RANK VIOLATION: %v\n", err)
+		failed = true
+	}
+
+	if *out != "-" {
+		data, _ := json.MarshalIndent(report, "", "  ")
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if failed {
+		fatalf("workloads: conformance failed")
+	}
+	fmt.Println("all scenarios conform ✓")
+}

@@ -2,7 +2,10 @@ package actor
 
 import (
 	"math/rand"
+	"os"
+	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -173,6 +176,92 @@ func BenchmarkLocalCallSteadyState(b *testing.B) {
 		if err := sys.Call(ref, "Touch", nil, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// requiredSpeedup reads the ACTOP_REQUIRE_SPEEDUP gate: unset (or 0) means
+// report-only; "1" means any speedup ≥ 1.0 must hold; any other value is
+// the required factor. The same variable feeds the cluster benchmark's
+// -require-speedup default (see cmd/actop-bench and EXPERIMENTS.md).
+func requiredSpeedup() float64 {
+	v := os.Getenv("ACTOP_REQUIRE_SPEEDUP")
+	if v == "" {
+		return 0
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f <= 0 {
+		return 1.0
+	}
+	return f
+}
+
+// TestShardedRoutingSpeedup measures hot-path routing throughput with one
+// goroutine against GOMAXPROCS goroutines over the lock-striped state
+// plane. By default it only reports the ratio; with ACTOP_REQUIRE_SPEEDUP
+// set it fails unless the parallel configuration beats the serial one by
+// the required factor — the regression tripwire for reintroducing a
+// coarse lock on the routing path.
+func TestShardedRoutingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed throughput comparison")
+	}
+	require := requiredSpeedup()
+	procs := runtime.GOMAXPROCS(0)
+	if require > 0 && procs < 2 {
+		t.Skipf("ACTOP_REQUIRE_SPEEDUP set but only %d proc(s); parallel speedup impossible", procs)
+	}
+
+	sys := newScaleBenchSystem(t)
+	const population = 16384
+	refs := benchRefs(population)
+	deadline := time.Now().Add(time.Hour)
+	for _, ref := range refs {
+		if _, err := sys.activationFor(ref, true, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// lookups runs `workers` goroutines hammering locate for a fixed window
+	// and reports total operations completed.
+	lookups := func(workers int, window time.Duration) uint64 {
+		var done atomic.Uint64
+		stop := time.Now().Add(window)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
+				n := uint64(0)
+				for time.Now().Before(stop) {
+					ref := refs[rng.Intn(population)]
+					if _, err := sys.locate(ref, true, deadline); err != nil {
+						t.Error(err)
+						break
+					}
+					n++
+				}
+				done.Add(n)
+			}()
+		}
+		wg.Wait()
+		return done.Load()
+	}
+
+	const window = 300 * time.Millisecond
+	lookups(procs, 50*time.Millisecond) // warm caches and scheduler
+	serial := lookups(1, window)
+	parallel := lookups(procs, window)
+	if serial == 0 {
+		t.Fatal("serial run performed no lookups")
+	}
+	speedup := float64(parallel) / float64(serial)
+	t.Logf("routing lookups: 1 goroutine %d ops, %d goroutines %d ops, speedup %.2f× (%d procs)",
+		serial, procs, parallel, speedup, procs)
+	if require > 0 && speedup < require {
+		t.Fatalf("parallel routing speedup %.2f× below required %.2f× (ACTOP_REQUIRE_SPEEDUP)",
+			speedup, require)
 	}
 }
 

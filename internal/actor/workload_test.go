@@ -1,0 +1,80 @@
+package actor_test
+
+import (
+	"fmt"
+	"testing"
+
+	"actop/internal/actor"
+	"actop/internal/loadgen"
+	"actop/internal/transport"
+	"actop/internal/workload/spec"
+)
+
+// TestSpecWorkloadAcrossNodes drives a declarative workload spec through
+// the real runtime on a five-node in-process cluster: the spec harness
+// must place activations across the cluster (random placement) and still
+// satisfy every invariant — exactly-once ops, conserved fan-out legs —
+// while sessions churn mid-run.
+func TestSpecWorkloadAcrossNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-runtime run")
+	}
+	const n = 5
+	net := transport.NewNetwork(0)
+	peers := make([]transport.NodeID, n)
+	trs := make([]transport.Transport, n)
+	for i := 0; i < n; i++ {
+		peers[i] = transport.NodeID(fmt.Sprintf("wl-node-%d", i))
+		trs[i] = net.Join(peers[i])
+	}
+	systems := make([]*actor.System, n)
+	for i := 0; i < n; i++ {
+		sys, err := actor.NewSystem(actor.Config{
+			Transport: trs[i], Peers: peers,
+			Workers: 16, Seed: int64(11 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems[i] = sys
+		t.Cleanup(sys.Stop)
+	}
+
+	sc, ok := spec.ScenarioByName("presence", 0.5)
+	if !ok {
+		t.Fatal("presence scenario missing")
+	}
+	runner, err := loadgen.New(&sc.Spec, systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(loadgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inv := range res.CheckInvariants(&sc.Spec) {
+		t.Error(inv)
+	}
+	if res.Churned == 0 {
+		t.Error("run exercised no churn")
+	}
+
+	// Random placement must spread the spec's actors over the cluster.
+	hosting := 0
+	for _, sys := range systems {
+		if sys.Stats().Activations > 0 {
+			hosting++
+		}
+	}
+	if hosting < 2 {
+		t.Errorf("activations concentrated on %d node(s); placement not exercised", hosting)
+	}
+	// The fan-out trees must actually have crossed node boundaries.
+	var remote uint64
+	for _, sys := range systems {
+		remote += sys.Stats().CallsRemote
+	}
+	if remote == 0 {
+		t.Error("no remote calls: the workload never left a single node")
+	}
+}

@@ -1,0 +1,15 @@
+package des
+
+import (
+	"os"
+	"testing"
+
+	"actop/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// the deterministic kernel must never spawn background work that
+// outlives a run.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaks(m.Run))
+}

@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"actop/internal/actor"
+	"actop/internal/transport"
+	"actop/internal/workload/spec"
+)
+
+// newCluster builds an in-process multi-node actor cluster on the
+// in-memory transport.
+func newCluster(t *testing.T, n int) []*actor.System {
+	t.Helper()
+	net := transport.NewNetwork(0)
+	peers := make([]transport.NodeID, n)
+	trs := make([]transport.Transport, n)
+	for i := 0; i < n; i++ {
+		peers[i] = transport.NodeID(fmt.Sprintf("node-%d", i))
+		trs[i] = net.Join(peers[i])
+	}
+	systems := make([]*actor.System, n)
+	for i := 0; i < n; i++ {
+		sys, err := actor.NewSystem(actor.Config{
+			Transport: trs[i], Peers: peers,
+			Workers: 16, Seed: int64(7 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems[i] = sys
+		t.Cleanup(sys.Stop)
+	}
+	return systems
+}
+
+// TestConformanceAllScenarios is the headline cross-check: every built-in
+// scenario runs through the one spec harness against both backends — the
+// DES and a live 3-node runtime — and the two results must satisfy the
+// per-scenario invariants and agree within the scenario's stated
+// tolerance. A latency rank check across the scenario set closes the loop
+// on latency shape.
+func TestConformanceAllScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-runtime runs")
+	}
+	scenarios := spec.Scenarios(1)
+	names := make([]string, 0, len(scenarios))
+	desMed := make([]time.Duration, 0, len(scenarios))
+	realMed := make([]time.Duration, 0, len(scenarios))
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Spec.Name, func(t *testing.T) {
+			desRun, err := spec.RunDES(&sc.Spec, spec.DESOptions{Servers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			systems := newCluster(t, 3)
+			runner, err := New(&sc.Spec, systems)
+			if err != nil {
+				t.Fatal(err)
+			}
+			realRes, err := runner.Run(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, inv := range desRun.Result.CheckInvariants(&sc.Spec) {
+				t.Error(inv)
+			}
+			for _, inv := range realRes.CheckInvariants(&sc.Spec) {
+				t.Error(inv)
+			}
+			for _, cmp := range spec.Compare(&sc.Spec, &desRun.Result, realRes, sc.Tol) {
+				t.Error(cmp)
+			}
+			names = append(names, sc.Spec.Name)
+			desMed = append(desMed, desRun.Result.Latency.Quantile(0.5))
+			realMed = append(realMed, realRes.Latency.Quantile(0.5))
+		})
+	}
+	if t.Failed() {
+		return
+	}
+	for _, err := range spec.RankCheck(names, desMed, realMed, 3) {
+		t.Error(err)
+	}
+}
+
+// TestRealChurnKeepsServing drives the presence scenario (which churns
+// game sessions) and checks the generation-keyed rebirth kept every
+// operation successful — churned slots must keep answering through their
+// fresh incarnation.
+func TestRealChurnKeepsServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-runtime run")
+	}
+	sc, _ := spec.ScenarioByName("presence", 0.5)
+	systems := newCluster(t, 2)
+	runner, err := New(&sc.Spec, systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Churned == 0 {
+		t.Fatal("no churn events applied")
+	}
+	if res.Errors != 0 || res.Completed != res.Submitted {
+		t.Fatalf("churn lost operations: %d errors, %d/%d completed",
+			res.Errors, res.Completed, res.Submitted)
+	}
+}
+
+// TestRunnerRejectsBadSpec pins the error path: an invalid spec must fail
+// compilation, not produce a half-wired runner.
+func TestRunnerRejectsBadSpec(t *testing.T) {
+	sc, _ := spec.ScenarioByName("heartbeat", 1)
+	sc.Spec.Kinds[0].Population = 0
+	systems := newCluster(t, 1)
+	if _, err := New(&sc.Spec, systems); err == nil {
+		t.Fatal("invalid spec compiled")
+	}
+	if _, err := New(&spec.Scenarios(1)[0].Spec, nil); err == nil {
+		t.Fatal("runner built with no systems")
+	}
+}

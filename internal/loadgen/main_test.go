@@ -1,0 +1,12 @@
+package loadgen
+
+import (
+	"os"
+	"testing"
+
+	"actop/internal/testutil"
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaks(m.Run))
+}

@@ -87,9 +87,22 @@ func (h *Histogram) UnmarshalBinary(data []byte) error {
 		if err != nil {
 			return err
 		}
+		if i > 0 && delta == 0 {
+			return fmt.Errorf("metrics: histogram encoding repeats bucket %d", idx)
+		}
+		if delta > histBucketN {
+			return fmt.Errorf("metrics: histogram bucket delta %d out of range", delta)
+		}
 		idx += int(delta)
 		if idx < 0 || idx > histBucketN {
 			return fmt.Errorf("metrics: histogram bucket index %d out of range", idx)
+		}
+		// Guard the running sum before adding: bucket counts must sum to
+		// exactly total, so any single count above the remainder is invalid —
+		// and letting it through would wrap counted around uint64 and forge
+		// agreement with total.
+		if c > total-counted {
+			return fmt.Errorf("metrics: histogram bucket count %d exceeds remaining total %d", c, total-counted)
 		}
 		h.counts[idx] = c
 		counted += c

@@ -1,0 +1,15 @@
+package sim
+
+import (
+	"os"
+	"testing"
+
+	"actop/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// simulated clusters execute entirely on the caller's goroutine, so a
+// survivor means a test harness leak.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaks(m.Run))
+}

@@ -1,0 +1,211 @@
+package spec
+
+import (
+	"fmt"
+	"time"
+
+	"actop/internal/metrics"
+)
+
+// Result is one backend's measurement of one spec run. Both backends fill
+// the same structure, which is what the conformance layer compares.
+type Result struct {
+	Scenario string
+	Backend  string // "des" or "real"
+
+	// Horizon is the schedule length; Elapsed the time the run actually
+	// took to complete the schedule (virtual for DES, wall for real —
+	// for an open-loop run that keeps up, Elapsed ≈ Horizon).
+	Horizon time.Duration
+	Elapsed time.Duration
+
+	Submitted uint64 // operations injected
+	Completed uint64 // operations that finished successfully
+	Errors    uint64 // operations that failed (real backend call errors)
+	Rejected  uint64 // operations rejected by queue overflow (DES)
+
+	// OpsExecuted counts operation executions observed at target actors —
+	// the exactly-once check compares it against Completed.
+	OpsExecuted uint64
+	// LegsSent/LegsReceived count fan-out calls issued and delivered — the
+	// value-conservation check requires them equal.
+	LegsSent, LegsReceived uint64
+
+	// JoinsRouted counts swarm join operations assigned to a lobby;
+	// LobbyMembers sums the member counts the lobby actors themselves
+	// report at the end of the run. "No lost lobby members" requires the
+	// actors' own accounting to match the completed joins.
+	JoinsRouted  uint64
+	LobbyMembers uint64
+	LobbiesUsed  int
+
+	// Churned counts churn events applied.
+	Churned uint64
+
+	// Latency is the end-to-end client-operation latency distribution.
+	Latency metrics.Histogram
+}
+
+// OpsPerSec reports completed operations per elapsed second.
+func (r *Result) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Elapsed.Seconds()
+}
+
+// Amplification reports actor-to-actor calls per completed operation.
+func (r *Result) Amplification() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.LegsSent) / float64(r.Completed)
+}
+
+// CheckInvariants verifies the per-scenario safety properties on one
+// backend's result:
+//
+//   - no loss: nothing rejected or errored, and every submitted operation
+//     completed once the run drained;
+//   - exactly-once effects: target actors observed exactly one execution
+//     per completed operation (a retry that double-executed, or a dropped
+//     turn, breaks the equality in opposite directions);
+//   - value conservation: every fan-out leg sent was received exactly once;
+//   - no lost lobby members: the lobby actors' own member accounting sums
+//     to the joins the driver routed.
+func (r *Result) CheckInvariants(sp *Spec) []error {
+	var errs []error
+	fail := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf("%s/%s: "+format, append([]interface{}{r.Scenario, r.Backend}, args...)...))
+	}
+	if r.Rejected != 0 {
+		fail("%d operations rejected", r.Rejected)
+	}
+	if r.Errors != 0 {
+		fail("%d operations errored", r.Errors)
+	}
+	if r.Completed != r.Submitted-r.Errors-r.Rejected {
+		fail("completed %d != submitted %d - errors %d - rejected %d",
+			r.Completed, r.Submitted, r.Errors, r.Rejected)
+	}
+	if r.OpsExecuted != r.Completed {
+		fail("exactly-once violated: %d executions observed at actors for %d completed ops",
+			r.OpsExecuted, r.Completed)
+	}
+	if r.LegsSent != r.LegsReceived {
+		fail("value conservation violated: %d fan-out legs sent, %d received",
+			r.LegsSent, r.LegsReceived)
+	}
+	if hasSwarm(sp) {
+		joins := r.JoinsRouted
+		if r.LobbyMembers != joins {
+			fail("lobby members lost: actors report %d members for %d routed joins",
+				r.LobbyMembers, joins)
+		}
+	}
+	return errs
+}
+
+func hasSwarm(sp *Spec) bool {
+	for i := range sp.Kinds {
+		if sp.Kinds[i].Capacity > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare cross-checks the two backends' results for one spec against the
+// scenario's stated tolerance. It returns every violation (empty = the
+// backends conform).
+func Compare(sp *Spec, des, real *Result, tol Tolerance) []error {
+	var errs []error
+	fail := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf("%s: "+format, append([]interface{}{sp.Name}, args...)...))
+	}
+	for _, r := range []*Result{des, real} {
+		if r.Submitted == 0 {
+			fail("%s backend submitted nothing", r.Backend)
+			continue
+		}
+		frac := float64(r.Completed) / float64(r.Submitted)
+		if frac < tol.MinCompletion {
+			fail("%s completion %.3f below floor %.3f", r.Backend, frac, tol.MinCompletion)
+		}
+	}
+	if len(errs) > 0 {
+		return errs
+	}
+	// Throughput: both backends run the same open-loop schedule, so their
+	// completed-ops rates must agree (a backend that saturates or stalls
+	// falls behind the schedule and diverges here).
+	dr, rr := des.OpsPerSec(), real.OpsPerSec()
+	if d := relDiff(dr, rr); d > tol.Throughput {
+		fail("throughput diverges: DES %.1f ops/s vs real %.1f ops/s (%.1f%% apart, tolerance %.0f%%)",
+			dr, rr, 100*d, 100*tol.Throughput)
+	}
+	// Amplification: calls per op is the structural fingerprint of the
+	// workload; the two interpreters of the spec must agree on it.
+	da, ra := des.Amplification(), real.Amplification()
+	if d := relDiff(da, ra); d > tol.Amplification {
+		fail("amplification diverges: DES %.2f calls/op vs real %.2f calls/op (%.1f%% apart, tolerance %.0f%%)",
+			da, ra, 100*d, 100*tol.Amplification)
+	}
+	// Latency shape: quantiles must be coherent on both sides. Absolute
+	// values are not comparable (the DES models a calibrated network; the
+	// real runtime runs wherever it runs), so shape agreement across
+	// scenarios is checked by RankCheck over a scenario set.
+	for _, r := range []*Result{des, real} {
+		if r.Completed == 0 {
+			continue
+		}
+		p50, p99 := r.Latency.Quantile(0.5), r.Latency.Quantile(0.99)
+		if p50 <= 0 || p99 < p50 {
+			fail("%s latency shape incoherent: p50 %v p99 %v", r.Backend, p50, p99)
+		}
+	}
+	return errs
+}
+
+func relDiff(a, b float64) float64 {
+	den := a
+	if b > den {
+		den = b
+	}
+	if den == 0 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / den
+}
+
+// RankCheck verifies latency-shape agreement across a scenario set: for
+// every pair of scenarios whose DES median latencies are separated by at
+// least sep (e.g. 3 = 3×), the real runtime must order the pair the same
+// way, with slack — the heavier scenario's real median must be at least
+// the lighter one's. This is the cross-backend "latency shape" assertion
+// that absolute numbers cannot provide: a single-hop workload must be
+// cheaper than an 9-call fan-out tree in both the model and reality.
+func RankCheck(names []string, desMedian, realMedian []time.Duration, sep float64) []error {
+	var errs []error
+	for i := range names {
+		for j := range names {
+			if i == j || desMedian[i] == 0 || desMedian[j] == 0 {
+				continue
+			}
+			// Consider only pairs the DES clearly separates: i heavier.
+			if float64(desMedian[i]) < sep*float64(desMedian[j]) {
+				continue
+			}
+			if realMedian[i] < realMedian[j] {
+				errs = append(errs, fmt.Errorf(
+					"latency rank disagreement: DES orders %s (%v) ≥ %.0f× %s (%v) but real measures %v < %v",
+					names[i], desMedian[i], sep, names[j], desMedian[j], realMedian[i], realMedian[j]))
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,341 @@
+package spec
+
+import (
+	"time"
+
+	"actop/internal/des"
+	"actop/internal/sim"
+)
+
+// The DES backend: a Spec compiled onto the cluster simulator
+// (internal/sim). One generic handler interprets the spec's fan-out call
+// trees with the same collector machinery the hand-written Halo workload
+// uses, so the spec-driven Presence scenario exercises the same simulated
+// code paths (stage queues, LPC/RPC split, gather fan-in) as the original.
+
+// DESOptions configures a DES run of a spec.
+type DESOptions struct {
+	// Servers sizes the simulated cluster (default 3 — matching the
+	// real-runtime conformance cluster).
+	Servers int
+	// Config, when non-nil, overrides the calibrated base configuration
+	// (Servers and Seed are still taken from the options/spec).
+	Config *sim.Config
+	// RecordTrace captures the completion event trace for determinism
+	// tests.
+	RecordTrace bool
+}
+
+// churnDrain is how long a churned-out incarnation stays deliverable
+// before deactivating — enough virtual time for every in-flight message
+// addressed to it to land.
+const churnDrain = 1 * time.Second
+
+// TraceEntry is one completed operation in a DES run's event trace: with a
+// fixed seed the whole sequence is bit-reproducible.
+type TraceEntry struct {
+	At des.Time
+	ID uint64
+}
+
+// DESRun is the outcome of RunDES.
+type DESRun struct {
+	Result Result
+	// Trace is the completion event sequence (RecordTrace only).
+	Trace []TraceEntry
+	// Fired is the total number of simulator events executed.
+	Fired uint64
+}
+
+// compiled spec structures: link/kind references resolved to indices once.
+type compiledStep struct {
+	link   int
+	toKind int
+	gather bool
+	then   []*compiledStep
+}
+
+type compiledOp struct {
+	op    *Op
+	kind  int
+	steps []*compiledStep
+}
+
+func compileOps(sp *Spec) []*compiledOp {
+	out := make([]*compiledOp, len(sp.Ops))
+	for i := range sp.Ops {
+		op := &sp.Ops[i]
+		out[i] = &compiledOp{
+			op:    op,
+			kind:  sp.kindIndex(op.Kind),
+			steps: compileSteps(sp, op.Steps),
+		}
+	}
+	return out
+}
+
+func compileSteps(sp *Spec, steps []Step) []*compiledStep {
+	out := make([]*compiledStep, len(steps))
+	for i := range steps {
+		st := &steps[i]
+		li := sp.linkIndex(st.Link)
+		out[i] = &compiledStep{
+			link:   li,
+			toKind: sp.kindIndex(sp.Links[li].To),
+			gather: st.Gather,
+			then:   compileSteps(sp, st.Then),
+		}
+	}
+	return out
+}
+
+// desState is the simulated actor's state: its identity in the topology
+// plus the swarm member count (the lobby's own accounting, which the
+// no-lost-members invariant audits).
+type desState struct {
+	kind, slot int
+	members    int
+}
+
+// desGather tracks one fan-in collection point, exactly like the Halo
+// workload's fanout struct: it travels in message payloads, so dropped
+// legs leak nothing into actor state.
+type desGather struct {
+	remaining int
+	parent    *desGather
+	owner     sim.ActorID
+	req       *sim.Request
+	root      bool
+}
+
+type desOpMsg struct {
+	op *compiledOp
+}
+
+type desStepMsg struct {
+	step   *compiledStep
+	parent *desGather // nil when the hop is not gathered
+}
+
+type desSwarm struct {
+	open    sim.ActorID // 0 = none filling
+	slot    int         // slot index of the open actor
+	next    int         // next slot to open
+	members int         // members routed to the open actor
+}
+
+type desRun struct {
+	sp   *Spec
+	topo *Topology
+	c    *sim.Cluster
+	ops  []*compiledOp
+	ids  [][]sim.ActorID // per kind, per slot
+	sw   []desSwarm      // per kind (zero unless Capacity > 0)
+
+	res   Result
+	trace []TraceEntry
+	rec   bool
+}
+
+// RunDES executes the spec on the simulator and reports the measured
+// Result (plus the event trace when requested).
+func RunDES(sp *Spec, opts DESOptions) (*DESRun, error) {
+	topo, err := BuildTopology(sp)
+	if err != nil {
+		return nil, err
+	}
+	servers := opts.Servers
+	if servers <= 0 {
+		servers = 3
+	}
+	cfg := sim.DefaultConfig()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	cfg.Servers = servers
+	cfg.Seed = subSeed(sp.Seed, "sim", 0)
+	c := sim.New(cfg)
+
+	r := &desRun{
+		sp: sp, topo: topo, c: c, ops: compileOps(sp),
+		ids: make([][]sim.ActorID, len(sp.Kinds)),
+		sw:  make([]desSwarm, len(sp.Kinds)),
+		rec: opts.RecordTrace,
+	}
+	r.res.Scenario = sp.Name
+	r.res.Backend = "des"
+	r.res.Horizon = sp.Duration
+
+	// Populate the static kinds.
+	for ki := range sp.Kinds {
+		k := &sp.Kinds[ki]
+		r.ids[ki] = make([]sim.ActorID, k.Population)
+		for i := 0; i < k.Population; i++ {
+			r.ids[ki][i] = c.CreateActor(r.handle, &desState{kind: ki, slot: i})
+		}
+	}
+
+	// Install the whole schedule up front; the kernel orders it with the
+	// messages it generates.
+	maxLife := time.Duration(0)
+	for ki := range sp.Kinds {
+		if sp.Kinds[ki].LifetimeMax > maxLife {
+			maxLife = sp.Kinds[ki].LifetimeMax
+		}
+	}
+	for _, d := range NewStream(sp).Schedule() {
+		d := d
+		c.K.At(d.At, func() { r.apply(d) })
+	}
+
+	// Run the horizon plus drain slack: open-loop arrivals stop at
+	// Duration; in-flight trees and pending lobby retirements finish
+	// within the longest swarm lifetime plus a little queue time.
+	c.Run(sp.Duration + maxLife + 2*time.Second)
+
+	// Fold the cluster counters and the still-live lobby accounting in.
+	r.res.Elapsed = sp.Duration
+	r.res.Submitted = c.Submitted
+	r.res.Completed = c.Completed
+	r.res.Rejected = c.Rejected
+	r.res.Latency = c.Latency
+	for ki := range sp.Kinds {
+		sw := &r.sw[ki]
+		if sw.open != 0 {
+			r.harvestLobby(sw.open)
+			sw.open = 0
+		}
+	}
+	return &DESRun{Result: r.res, Trace: r.trace, Fired: c.K.Fired()}, nil
+}
+
+// apply executes one scheduled workload event.
+func (r *desRun) apply(d Draw) {
+	switch d.Ev {
+	case EvOp:
+		cop := r.ops[d.Op]
+		var target sim.ActorID
+		if cop.op.Join {
+			target = r.routeJoin(cop.kind)
+		} else {
+			target = r.ids[cop.kind][d.Target]
+		}
+		var done func(*sim.Request, des.Time, bool)
+		if r.rec {
+			done = func(req *sim.Request, at des.Time, rejected bool) {
+				if !rejected {
+					r.trace = append(r.trace, TraceEntry{At: at, ID: req.ID})
+				}
+			}
+		}
+		r.c.SubmitRequest(target, "op", &desOpMsg{op: cop}, done)
+	case EvChurn:
+		// Retire the victim and re-create it in the same topology slot:
+		// links keep pointing at the slot, so the fresh incarnation takes
+		// over the old one's place, as a re-activated virtual actor would.
+		// The old incarnation lingers for a drain window so in-flight
+		// messages still deliver (a virtual actor never vanishes under a
+		// caller), then deactivates.
+		old := r.ids[d.Kind][d.Target]
+		r.c.K.After(churnDrain, func() { r.c.DestroyActor(old) })
+		r.ids[d.Kind][d.Target] = r.c.CreateActor(r.handle, &desState{kind: d.Kind, slot: d.Target})
+		r.res.Churned++
+	}
+}
+
+// routeJoin picks (creating if needed) the filling lobby of a swarm kind
+// and accounts the member, opening a fresh lobby at capacity.
+func (r *desRun) routeJoin(kind int) sim.ActorID {
+	sw := &r.sw[kind]
+	k := &r.sp.Kinds[kind]
+	if sw.open == 0 {
+		sw.slot = sw.next
+		sw.next++
+		sw.open = r.c.CreateActor(r.handle, &desState{kind: kind, slot: sw.slot})
+		sw.members = 0
+		r.res.LobbiesUsed++
+	}
+	id := sw.open
+	sw.members++
+	r.res.JoinsRouted++
+	if sw.members >= k.Capacity {
+		slot := sw.slot
+		r.c.K.After(SwarmLifetime(r.sp, kind, slot), func() { r.retireLobby(id) })
+		sw.open = 0
+	}
+	return id
+}
+
+// retireLobby harvests a full lobby's own member count and destroys it.
+func (r *desRun) retireLobby(id sim.ActorID) {
+	r.harvestLobby(id)
+	r.c.DestroyActor(id)
+}
+
+func (r *desRun) harvestLobby(id sim.ActorID) {
+	if st, ok := r.c.ActorState(id).(*desState); ok {
+		r.res.LobbyMembers += uint64(st.members)
+	}
+}
+
+// handle is the generic spec actor: it interprets op call trees with
+// explicit gather collectors.
+func (r *desRun) handle(ctx *sim.Ctx, msg *sim.Message) {
+	st, ok := ctx.State().(*desState)
+	if !ok {
+		return
+	}
+	switch msg.Type {
+	case "op":
+		m := msg.Payload.(*desOpMsg)
+		r.res.OpsExecuted++
+		if m.op.op.Join {
+			st.members++
+		}
+		g := &desGather{owner: ctx.Self, req: msg.Req, root: true}
+		r.runSteps(ctx, st, m.op.steps, g)
+	case "step":
+		m := msg.Payload.(*desStepMsg)
+		r.res.LegsReceived++
+		g := &desGather{owner: ctx.Self, req: msg.Req, parent: m.parent}
+		r.runSteps(ctx, st, m.step.then, g)
+	case "ack":
+		g := msg.Payload.(*desGather)
+		g.remaining--
+		if g.remaining == 0 {
+			r.finish(ctx, g)
+		}
+	}
+}
+
+// runSteps fans the call tree out one level: every reached actor executes
+// its Then steps; gathered hops ack back through g.
+func (r *desRun) runSteps(ctx *sim.Ctx, st *desState, steps []*compiledStep, g *desGather) {
+	for _, cs := range steps {
+		targets := r.topo.Targets(cs.link, st.slot)
+		for _, t := range targets {
+			r.res.LegsSent++
+			var parent *desGather
+			if cs.gather {
+				g.remaining++
+				parent = g
+			}
+			ctx.Send(r.ids[cs.toKind][t], "step", &desStepMsg{step: cs, parent: parent}, g.req)
+		}
+	}
+	if g.remaining == 0 {
+		r.finish(ctx, g)
+	}
+}
+
+// finish resolves a completed collection point: the root replies to the
+// client, nested gathers ack their parent, fire-and-forget subtrees just
+// end.
+func (r *desRun) finish(ctx *sim.Ctx, g *desGather) {
+	switch {
+	case g.root:
+		ctx.ReplyToClient(g.req)
+	case g.parent != nil:
+		ctx.Send(g.parent.owner, "ack", g.parent, g.req)
+	}
+}

@@ -1,0 +1,165 @@
+package spec
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDESScenarioInvariants runs every built-in scenario on the simulator
+// and audits the per-scenario safety properties: nothing lost, effects
+// exactly once, fan-out legs conserved, lobby membership intact.
+func TestDESScenarioInvariants(t *testing.T) {
+	for _, sc := range Scenarios(1) {
+		sc := sc
+		t.Run(sc.Spec.Name, func(t *testing.T) {
+			run, err := RunDES(&sc.Spec, DESOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := &run.Result
+			if r.Submitted == 0 {
+				t.Fatal("nothing submitted")
+			}
+			for _, inv := range r.CheckInvariants(&sc.Spec) {
+				t.Error(inv)
+			}
+			if frac := float64(r.Completed) / float64(r.Submitted); frac < sc.Tol.MinCompletion {
+				t.Errorf("completion %.4f below scenario floor %.3f", frac, sc.Tol.MinCompletion)
+			}
+			if r.Completed > 0 {
+				p50, p99 := r.Latency.Quantile(0.5), r.Latency.Quantile(0.99)
+				if p50 <= 0 || p99 < p50 {
+					t.Errorf("incoherent latency quantiles p50=%v p99=%v", p50, p99)
+				}
+			}
+		})
+	}
+}
+
+// legsFor walks an op's call tree over the compiled topology and counts
+// the exact calls one execution from fromSlot issues.
+func legsFor(topo *Topology, sp *Spec, fromSlot int, steps []Step) uint64 {
+	var n uint64
+	for i := range steps {
+		st := &steps[i]
+		li := sp.linkIndex(st.Link)
+		for _, tgt := range topo.Targets(li, fromSlot) {
+			n += 1 + legsFor(topo, sp, int(tgt), st.Then)
+		}
+	}
+	return n
+}
+
+// TestDESAmplificationMatchesTopology replays the schedule against the
+// compiled topology and predicts the exact number of fan-out legs the run
+// must issue — an independent derivation the simulator's realized count
+// has to match call for call (churn preserves topology slots, so the
+// prediction survives session turnover).
+func TestDESAmplificationMatchesTopology(t *testing.T) {
+	for _, name := range []string{"presence", "social", "iot"} {
+		sc, _ := ScenarioByName(name, 1)
+		sp := sc.Spec
+		topo, err := BuildTopology(&sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want uint64
+		for _, d := range NewStream(&sp).Schedule() {
+			if d.Ev != EvOp {
+				continue
+			}
+			want += legsFor(topo, &sp, d.Target, sp.Ops[d.Op].Steps)
+		}
+		run, err := RunDES(&sp, DESOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := run.Result.LegsSent; got != want {
+			t.Errorf("%s: simulator issued %d fan-out legs, schedule replay predicts %d", name, got, want)
+		}
+	}
+}
+
+// TestDESChurnExercised makes sure the presence scenario actually churns
+// sessions (otherwise its invariants say nothing about churn safety).
+func TestDESChurnExercised(t *testing.T) {
+	sc, _ := ScenarioByName("presence", 1)
+	run, err := RunDES(&sc.Spec, DESOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.Churned == 0 {
+		t.Error("presence run churned nothing; raise ChurnRate or duration")
+	}
+}
+
+// TestDESSwarmLifecycle checks matchmaking's swarm accounting: lobbies are
+// created on demand, fill to capacity, and the actors' own member counts
+// add up to the routed joins even as lobbies retire mid-run.
+func TestDESSwarmLifecycle(t *testing.T) {
+	sc, _ := ScenarioByName("matchmaking", 1)
+	run, err := RunDES(&sc.Spec, DESOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &run.Result
+	if r.LobbiesUsed < 2 {
+		t.Fatalf("only %d lobbies used; swarm not exercised", r.LobbiesUsed)
+	}
+	if r.JoinsRouted == 0 || r.LobbyMembers != r.JoinsRouted {
+		t.Fatalf("lobby members %d != joins routed %d", r.LobbyMembers, r.JoinsRouted)
+	}
+	cap := uint64(sc.Spec.Kinds[sc.Spec.kindIndex("lobby")].Capacity)
+	if full := r.JoinsRouted / cap; uint64(r.LobbiesUsed) < full {
+		t.Fatalf("%d lobbies for %d joins at capacity %d", r.LobbiesUsed, r.JoinsRouted, cap)
+	}
+}
+
+// TestCompareSelf feeds a DES result against itself through the
+// conformance comparator: a backend always conforms to itself, and the
+// helper must flag fabricated divergence.
+func TestCompareSelf(t *testing.T) {
+	sc, _ := ScenarioByName("heartbeat", 1)
+	run, err := RunDES(&sc.Spec, DESOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := run.Result
+	b := run.Result
+	b.Backend = "real"
+	if errs := Compare(&sc.Spec, &a, &b, sc.Tol); len(errs) != 0 {
+		t.Fatalf("self-comparison failed: %v", errs)
+	}
+	// Halve the clone's completions: throughput and completion must trip.
+	b.Completed /= 2
+	b.OpsExecuted /= 2
+	if errs := Compare(&sc.Spec, &a, &b, sc.Tol); len(errs) == 0 {
+		t.Fatal("halved throughput passed conformance")
+	}
+}
+
+func durations(ms ...int) []time.Duration {
+	out := make([]time.Duration, len(ms))
+	for i, m := range ms {
+		out[i] = time.Duration(m) * time.Millisecond
+	}
+	return out
+}
+
+func TestRankCheck(t *testing.T) {
+	names := []string{"light", "heavy"}
+	// DES separates heavy ≥ 3× light; real agreeing passes, disagreeing fails.
+	desMedians := durations(1, 5)
+	okReal := durations(2, 3)
+	badReal := durations(3, 2)
+	if errs := RankCheck(names, desMedians, okReal, 3); len(errs) != 0 {
+		t.Fatalf("agreeing ranks flagged: %v", errs)
+	}
+	if errs := RankCheck(names, desMedians, badReal, 3); len(errs) == 0 {
+		t.Fatal("inverted ranks passed")
+	}
+	// Pairs the DES does not separate are never checked.
+	if errs := RankCheck(names, durations(1, 2), badReal, 3); len(errs) != 0 {
+		t.Fatalf("unseparated pair flagged: %v", errs)
+	}
+}

@@ -1,0 +1,73 @@
+package spec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestScheduleDeterminism: the compiled schedule is a pure function of the
+// spec — two streams over the same spec emit identical Draw sequences, and
+// a different seed emits a different one.
+func TestScheduleDeterminism(t *testing.T) {
+	for _, sc := range Scenarios(1) {
+		sp := sc.Spec
+		s1 := NewStream(&sp).Schedule()
+		s2 := NewStream(&sp).Schedule()
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("%s: same seed produced different schedules", sp.Name)
+		}
+		reseeded := sp
+		reseeded.Seed = sp.Seed + 1
+		s3 := NewStream(&reseeded).Schedule()
+		if reflect.DeepEqual(s1, s3) {
+			t.Errorf("%s: different seeds produced identical schedules", sp.Name)
+		}
+	}
+}
+
+// TestTopologyDeterminism: compiling a spec twice yields bit-identical
+// adjacency.
+func TestTopologyDeterminism(t *testing.T) {
+	sp := Social(1).Spec
+	t1, err := BuildTopology(&sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := BuildTopology(&sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1.Adj, t2.Adj) {
+		t.Fatal("same seed produced different topologies")
+	}
+}
+
+// TestDESTraceDeterminism is the headline seed guarantee: two DES runs of
+// the same spec produce the identical completion event trace — every
+// completion at the same virtual nanosecond with the same request id — and
+// fire the identical number of simulator events.
+func TestDESTraceDeterminism(t *testing.T) {
+	for _, name := range []string{"presence", "matchmaking"} {
+		sc, _ := ScenarioByName(name, 0.5)
+		r1, err := RunDES(&sc.Spec, DESOptions{RecordTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := RunDES(&sc.Spec, DESOptions{RecordTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Fired != r2.Fired {
+			t.Errorf("%s: event counts differ: %d vs %d", name, r1.Fired, r2.Fired)
+		}
+		if len(r1.Trace) == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+		if !reflect.DeepEqual(r1.Trace, r2.Trace) {
+			t.Errorf("%s: same seed produced different DES event traces", name)
+		}
+		if !reflect.DeepEqual(r1.Result, r2.Result) {
+			t.Errorf("%s: same seed produced different results", name)
+		}
+	}
+}

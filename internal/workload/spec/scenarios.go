@@ -1,0 +1,209 @@
+package spec
+
+import "time"
+
+// The built-in scenario library. Each scenario is a Spec plus its stated
+// conformance Tolerance; together the five cover the paper's two Halo
+// workloads and three further shapes the runtime must handle — write
+// amplification, high fan-in ingest, and short-lived actor swarms.
+
+// Scenario pairs a workload spec with the conformance bar it must meet.
+type Scenario struct {
+	Spec Spec
+	Tol  Tolerance
+}
+
+// defaultTol is the conformance bar shared by the built-in scenarios:
+// every submitted op completes (drained open-loop run), realized
+// throughput within 25% across backends (covers the real run's drain tail
+// and wall-clock jitter), and message amplification — the structural
+// fingerprint of the workload — within 10%.
+var defaultTol = Tolerance{Throughput: 0.25, Amplification: 0.10, MinCompletion: 0.99}
+
+// pop scales a population, keeping at least 2 actors so block/mod
+// assignments stay meaningful.
+func pop(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+// Presence is the paper's Halo 4 presence workload as a spec: consoles
+// grouped into game sessions; a status lookup walks console → game →
+// every member's presence record and gathers the replies (the §2
+// fan-out/fan-in tree), while games churn as sessions end and restart.
+// Presence records are a separate leaf kind so the status tree descends a
+// kind DAG (console → game → presence), as Validate requires.
+func Presence(scale float64) Scenario {
+	consoles := pop(64, scale)
+	games := pop(16, scale)
+	return Scenario{
+		Spec: Spec{
+			Name:        "presence",
+			Description: "Halo-style presence: console→game→roster gather tree with session churn",
+			Kinds: []Kind{
+				{Name: "console", Population: consoles, StateBytes: 256},
+				{Name: "game", Population: games, StateBytes: 1024, ChurnRate: 0.1},
+				{Name: "presence", Population: consoles, StateBytes: 128},
+			},
+			Links: []Link{
+				{Name: "mygame", From: "console", To: "game", Assign: AssignBlock},
+				{Name: "enroll", From: "presence", To: "game", Assign: AssignBlock},
+				{Name: "roster", From: "game", To: "presence", Assign: AssignInverse, InverseOf: "enroll"},
+			},
+			Ops: []Op{
+				{
+					Name: "status", Kind: "console", Weight: 1, PayloadBytes: 128,
+					Steps: []Step{{Link: "mygame", Gather: true, Then: []Step{{Link: "roster", Gather: true}}}},
+				},
+				{Name: "touch", Kind: "console", Weight: 3, PayloadBytes: 64},
+			},
+			Arrival:  Arrival{Process: ArrivalPoisson, Rate: 150 * scale},
+			Duration: 3 * time.Second,
+			Seed:     101,
+		},
+		Tol: defaultTol,
+	}
+}
+
+// Heartbeat is the paper's Halo 4 heartbeat workload: a flat population of
+// session actors each absorbing periodic single-hop state updates.
+func Heartbeat(scale float64) Scenario {
+	return Scenario{
+		Spec: Spec{
+			Name:        "heartbeat",
+			Description: "Halo-style heartbeats: single-hop updates over a flat session population",
+			Kinds: []Kind{
+				{Name: "session", Population: pop(128, scale), StateBytes: 512},
+			},
+			Ops: []Op{
+				{Name: "beat", Kind: "session", Weight: 1, PayloadBytes: 64},
+			},
+			Arrival:  Arrival{Process: ArrivalPoisson, Rate: 400 * scale},
+			Duration: 2 * time.Second,
+			Seed:     102,
+		},
+		Tol: defaultTol,
+	}
+}
+
+// Social is the social-graph fan-out scenario: a post fans out to the
+// author's Zipf-degreed follower feeds (write amplification), while reads
+// hit a Zipf-popular slice of the feeds directly. Feeds are a leaf kind —
+// user → feed is the acyclic shape real timeline delivery has, and the
+// kind DAG rule requires it.
+func Social(scale float64) Scenario {
+	users := pop(100, scale)
+	return Scenario{
+		Spec: Spec{
+			Name:        "social",
+			Description: "Social-graph fanout: Zipf follower degrees amplify writes into feeds; Zipf-hot reads",
+			Kinds: []Kind{
+				{Name: "user", Population: users, StateBytes: 2048},
+				{Name: "feed", Population: users, StateBytes: 4096},
+			},
+			Links: []Link{
+				{Name: "followers", From: "user", To: "feed", Assign: AssignRandom, Degree: Zipf(1, 40, 1.3)},
+			},
+			Ops: []Op{
+				{
+					Name: "post", Kind: "user", Weight: 1, PayloadBytes: 512,
+					Pop:   Pop{Zipf: true, S: 1.5},
+					Steps: []Step{{Link: "followers"}},
+				},
+				{Name: "read", Kind: "feed", Weight: 4, PayloadBytes: 64, Pop: Pop{Zipf: true, S: 1.5}},
+			},
+			Arrival:  Arrival{Process: ArrivalPoisson, Rate: 120 * scale},
+			Duration: 3 * time.Second,
+			Seed:     103,
+		},
+		Tol: defaultTol,
+	}
+}
+
+// IoT is the telemetry-ingest scenario: a large device population funnels
+// tiny readings into a few aggregators (high fan-in), under a compressed
+// diurnal rate cycle.
+func IoT(scale float64) Scenario {
+	devices := pop(200, scale)
+	aggs := pop(8, scale)
+	return Scenario{
+		Spec: Spec{
+			Name:        "iot",
+			Description: "IoT telemetry ingest: many devices, few aggregators, tiny payloads, diurnal rate",
+			Kinds: []Kind{
+				{Name: "device", Population: devices, StateBytes: 64},
+				{Name: "aggregator", Population: aggs, StateBytes: 8192},
+			},
+			Links: []Link{
+				{Name: "uplink", From: "device", To: "aggregator", Assign: AssignMod},
+			},
+			Ops: []Op{
+				{
+					Name: "telemetry", Kind: "device", Weight: 1, PayloadBytes: 16,
+					Steps: []Step{{Link: "uplink", Gather: true}},
+				},
+			},
+			Arrival: Arrival{
+				Process: ArrivalDiurnal, Rate: 500 * scale,
+				Period: 2 * time.Second, Amplitude: 0.8,
+			},
+			Duration: 3 * time.Second,
+			Seed:     104,
+		},
+		Tol: defaultTol,
+	}
+}
+
+// Matchmaking is the lobby-swarm scenario: bursty join traffic fills
+// short-lived lobby actors to capacity; full lobbies play out a bounded
+// lifetime and retire. The no-lost-members invariant audits the swarm.
+func Matchmaking(scale float64) Scenario {
+	return Scenario{
+		Spec: Spec{
+			Name:        "matchmaking",
+			Description: "Matchmaking lobbies: bursty joins fill short-lived capacity-8 actor swarms",
+			Kinds: []Kind{
+				{Name: "lobby", Capacity: 8, LifetimeMin: time.Second, LifetimeMax: 2 * time.Second},
+				{Name: "profile", Population: pop(64, scale), StateBytes: 512},
+			},
+			Ops: []Op{
+				{Name: "join", Kind: "lobby", Weight: 4, PayloadBytes: 128, Join: true},
+				{Name: "stats", Kind: "profile", Weight: 1, PayloadBytes: 64},
+			},
+			Arrival: Arrival{
+				Process: ArrivalBursty, Rate: 80 * scale,
+				BurstFactor: 5, BurstOn: 300 * time.Millisecond, BurstOff: 700 * time.Millisecond,
+			},
+			Duration: 3 * time.Second,
+			Seed:     105,
+		},
+		Tol: defaultTol,
+	}
+}
+
+// Scenarios returns the built-in scenario set in its canonical order,
+// sized by scale (populations and arrival rates scale together, holding
+// per-actor load roughly constant).
+func Scenarios(scale float64) []Scenario {
+	return []Scenario{
+		Presence(scale),
+		Heartbeat(scale),
+		Social(scale),
+		IoT(scale),
+		Matchmaking(scale),
+	}
+}
+
+// ScenarioByName looks a built-in scenario up; ok is false for unknown
+// names.
+func ScenarioByName(name string, scale float64) (Scenario, bool) {
+	for _, sc := range Scenarios(scale) {
+		if sc.Spec.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,265 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validSpec() Spec {
+	return Presence(1).Spec
+}
+
+func TestBuiltinScenariosValidate(t *testing.T) {
+	for _, sc := range Scenarios(1) {
+		if err := sc.Spec.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Spec.Name, err)
+		}
+		if sc.Tol.Throughput <= 0 || sc.Tol.Amplification <= 0 || sc.Tol.MinCompletion <= 0 {
+			t.Errorf("%s: tolerance not fully stated: %+v", sc.Spec.Name, sc.Tol)
+		}
+	}
+	if len(Scenarios(1)) != 5 {
+		t.Fatalf("expected 5 built-in scenarios, got %d", len(Scenarios(1)))
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	for _, name := range []string{"presence", "heartbeat", "social", "iot", "matchmaking"} {
+		sc, ok := ScenarioByName(name, 1)
+		if !ok || sc.Spec.Name != name {
+			t.Errorf("ScenarioByName(%q) = %v, %v", name, sc.Spec.Name, ok)
+		}
+	}
+	if _, ok := ScenarioByName("nope", 1); ok {
+		t.Error("unknown scenario resolved")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(*Spec)
+		want string
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }, "missing name"},
+		{"no duration", func(s *Spec) { s.Duration = 0 }, "duration"},
+		{"no rate", func(s *Spec) { s.Arrival.Rate = 0 }, "rate"},
+		{"dup kind", func(s *Spec) { s.Kinds[1].Name = s.Kinds[0].Name }, "duplicate kind"},
+		{"dup link", func(s *Spec) { s.Links[1] = s.Links[0] }, "duplicate link"},
+		{"unknown kind", func(s *Spec) { s.Links[0].To = "ghost" }, "unknown kind"},
+		{"zero weight", func(s *Spec) { s.Ops[0].Weight = 0 }, "positive weight"},
+		{"bad zipf pop", func(s *Spec) { s.Ops[1].Pop = Pop{Zipf: true, S: 0.5} }, "exponent"},
+		{"unknown step link", func(s *Spec) { s.Ops[0].Steps[0].Link = "ghost" }, "unknown link"},
+		{"wrong step origin", func(s *Spec) { s.Ops[0].Steps[0].Link = "roster" }, "departs from"},
+		{"kind cycle", func(s *Spec) {
+			s.Links = append(s.Links, Link{Name: "back", From: "presence", To: "console",
+				Assign: AssignRandom, Degree: Fixed(1)})
+			s.Ops[0].Steps[0].Then[0].Then = []Step{{Link: "back"}}
+		}, "kind cycle"},
+		{"join without swarm", func(s *Spec) { s.Ops[1].Join = true }, "pair up"},
+		{"churning swarm", func(s *Spec) {
+			s.Kinds = append(s.Kinds, Kind{Name: "lobby", Capacity: 4, ChurnRate: 1,
+				LifetimeMin: time.Second, LifetimeMax: time.Second})
+		}, "churn"},
+		{"populated swarm", func(s *Spec) {
+			s.Kinds = append(s.Kinds, Kind{Name: "lobby", Capacity: 4, Population: 3,
+				LifetimeMin: time.Second, LifetimeMax: time.Second})
+		}, "population 0"},
+		{"swarm link", func(s *Spec) {
+			s.Kinds = append(s.Kinds, Kind{Name: "lobby", Capacity: 4,
+				LifetimeMin: time.Second, LifetimeMax: time.Second})
+			s.Links = append(s.Links, Link{Name: "bad", From: "console", To: "lobby"})
+		}, "swarm"},
+		{"inverse of inverse", func(s *Spec) {
+			s.Links = append(s.Links, Link{Name: "again", From: "presence", To: "game",
+				Assign: AssignInverse, InverseOf: "roster"})
+		}, "inverse"},
+		{"inverse endpoints", func(s *Spec) { s.Links[2].To = "console" }, "transpose"},
+	}
+	for _, tc := range cases {
+		sp := validSpec()
+		tc.edit(&sp)
+		err := sp.Validate()
+		if err == nil {
+			t.Errorf("%s: validation passed, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestTopologyShapes(t *testing.T) {
+	sp := validSpec()
+	topo, err := BuildTopology(&sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := sp.kindPop(t, "presence")
+	games := sp.kindPop(t, "game")
+	enroll, roster := sp.linkIndex("enroll"), sp.linkIndex("roster")
+
+	// Block assignment: every presence record maps to exactly one valid
+	// game, and the inverse link partitions the records back without loss.
+	seen := 0
+	for p := 0; p < records; p++ {
+		ts := topo.Targets(enroll, p)
+		if len(ts) != 1 || int(ts[0]) >= games {
+			t.Fatalf("record %d: bad game assignment %v", p, ts)
+		}
+	}
+	for g := 0; g < games; g++ {
+		for _, m := range topo.Targets(roster, g) {
+			got := topo.Targets(enroll, int(m))
+			if len(got) != 1 || int(got[0]) != g {
+				t.Fatalf("record %d of game %d maps back to %v", m, g, got)
+			}
+			seen++
+		}
+	}
+	if seen != records {
+		t.Fatalf("inverse link covers %d records, want %d", seen, records)
+	}
+}
+
+func (s *Spec) kindPop(t *testing.T, name string) int {
+	t.Helper()
+	ki := s.kindIndex(name)
+	if ki < 0 {
+		t.Fatalf("no kind %q", name)
+	}
+	return s.Kinds[ki].Population
+}
+
+func TestTopologyRandomDegrees(t *testing.T) {
+	sp := Social(1).Spec
+	topo, err := BuildTopology(&sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := sp.linkIndex("followers")
+	users := sp.Kinds[0].Population
+	feeds := sp.kindPop(t, "feed")
+	for u := 0; u < users; u++ {
+		ts := topo.Targets(li, u)
+		dup := make(map[int32]bool)
+		for _, f := range ts {
+			if int(f) >= feeds {
+				t.Fatalf("user %d follows out-of-range feed %d", u, f)
+			}
+			if dup[f] {
+				t.Fatalf("user %d delivers twice to feed %d", u, f)
+			}
+			dup[f] = true
+		}
+	}
+	if md := topo.MeanDegree(li); md <= 0 {
+		t.Fatalf("mean follower degree %v", md)
+	}
+}
+
+func TestStreamScheduleProperties(t *testing.T) {
+	for _, sc := range Scenarios(1) {
+		sp := sc.Spec
+		sched := NewStream(&sp).Schedule()
+		if len(sched) == 0 {
+			t.Fatalf("%s: empty schedule", sp.Name)
+		}
+		var last time.Duration
+		ops := 0
+		for _, d := range sched {
+			if d.At < last {
+				t.Fatalf("%s: schedule out of order (%v after %v)", sp.Name, d.At, last)
+			}
+			last = d.At
+			if d.At >= sp.Duration {
+				t.Fatalf("%s: event at %v beyond horizon %v", sp.Name, d.At, sp.Duration)
+			}
+			if d.Ev == EvOp {
+				ops++
+				op := &sp.Ops[d.Op]
+				if !op.Join {
+					n := sp.Kinds[d.Kind].Population
+					if d.Target < 0 || d.Target >= n {
+						t.Fatalf("%s: op target %d out of [0,%d)", sp.Name, d.Target, n)
+					}
+				}
+			}
+		}
+		// The realized op count should be within 30% of rate×duration.
+		want := sp.MeanRate() * sp.Duration.Seconds()
+		if f := float64(ops); f < 0.7*want || f > 1.3*want {
+			t.Errorf("%s: %d ops scheduled, expected ≈%.0f", sp.Name, ops, want)
+		}
+	}
+}
+
+func TestZipfPopularitySkew(t *testing.T) {
+	sp := Social(1).Spec
+	sched := NewStream(&sp).Schedule()
+	hot, total := 0, 0
+	for _, d := range sched {
+		if d.Ev != EvOp {
+			continue
+		}
+		total++
+		if d.Target < sp.Kinds[0].Population/10 {
+			hot++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no ops")
+	}
+	// Zipf(1.5) concentrates far more than 10% of traffic on the hottest
+	// 10% of keys; uniform would give ~10%.
+	if frac := float64(hot) / float64(total); frac < 0.3 {
+		t.Errorf("hottest decile got %.0f%% of ops; Zipf skew missing", 100*frac)
+	}
+}
+
+func TestMeanRateBursty(t *testing.T) {
+	sp := Matchmaking(1).Spec
+	a := sp.Arrival
+	on, off := a.BurstOn.Seconds(), a.BurstOff.Seconds()
+	want := a.Rate * (off + a.BurstFactor*on) / (on + off)
+	if got := sp.MeanRate(); got != want {
+		t.Errorf("MeanRate = %v, want %v", got, want)
+	}
+}
+
+func TestSwarmLifetimeDeterministicAndBounded(t *testing.T) {
+	sp := Matchmaking(1).Spec
+	k := sp.kindIndex("lobby")
+	for i := 0; i < 50; i++ {
+		l1 := SwarmLifetime(&sp, k, i)
+		l2 := SwarmLifetime(&sp, k, i)
+		if l1 != l2 {
+			t.Fatalf("slot %d lifetime not deterministic: %v vs %v", i, l1, l2)
+		}
+		min, max := sp.Kinds[k].LifetimeMin, sp.Kinds[k].LifetimeMax
+		if l1 < min || l1 > max {
+			t.Fatalf("slot %d lifetime %v outside [%v, %v]", i, l1, min, max)
+		}
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	if got := KeyOf(7, 0); got != "7" {
+		t.Errorf("KeyOf(7,0) = %q", got)
+	}
+	if got := KeyOf(7, 3); got != "7.g3" {
+		t.Errorf("KeyOf(7,3) = %q", got)
+	}
+}
+
+func TestExpectedAmplificationPresence(t *testing.T) {
+	sp := validSpec()
+	// status: 1 (mygame) + mean members per game; touch: 0. Weighted 1:3.
+	perGame := float64(sp.Kinds[0].Population) / float64(sp.Kinds[1].Population)
+	want := (1 + perGame) / 4
+	if got := sp.ExpectedAmplification(); got < 0.9*want || got > 1.1*want {
+		t.Errorf("ExpectedAmplification = %v, want ≈%v", got, want)
+	}
+}
