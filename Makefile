@@ -5,15 +5,16 @@
 GO ?= go
 LINT_BIN := bin/actop-lint
 
-.PHONY: check build test vet staticcheck lint race fuzz-smoke bench-msgplane cluster-smoke bench-scale workloads-smoke bench-workloads
+.PHONY: check build test vet staticcheck lint race fuzz-smoke bench-msgplane cluster-smoke bench-scale workloads-smoke bench-workloads chaos-smoke bench-recovery
 
 # check is the pre-PR gate: vet (+ staticcheck when installed), the
 # domain lint suite, build everything, race-test the concurrency-heavy
-# packages (transport, actor, seda, codec, loadgen), then the full tier-1
-# suite, a short fuzz pass over the wire decoders, a reduced-scale run of
-# the multi-process cluster benchmark, and the DES-vs-real workload
-# conformance smoke.
-check: vet staticcheck lint build race test fuzz-smoke cluster-smoke workloads-smoke
+# packages (transport, actor, seda, codec, durable, loadgen), then the
+# full tier-1 suite, a short fuzz pass over the wire decoders, a
+# reduced-scale run of the multi-process cluster benchmark, the
+# DES-vs-real workload conformance smoke, and the crash-chaos battery
+# over the durability plane.
+check: vet staticcheck lint build race test fuzz-smoke cluster-smoke workloads-smoke chaos-smoke
 
 # lint builds the domain-specific analyzer suite once into bin/ (so
 # repeated runs reuse the Go build cache and the binary) and runs it over
@@ -38,7 +39,7 @@ staticcheck:
 	fi
 
 race:
-	$(GO) test -race -count=1 ./internal/transport/... ./internal/actor/... ./internal/seda/... ./internal/codec/... ./internal/loadgen/... ./internal/workload/spec/...
+	$(GO) test -race -count=1 ./internal/transport/... ./internal/actor/... ./internal/seda/... ./internal/codec/... ./internal/durable/... ./internal/loadgen/... ./internal/workload/spec/...
 
 test:
 	$(GO) test ./...
@@ -51,6 +52,15 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzFrameRead -fuzztime 10s ./internal/codec
 	$(GO) test -run XXX -fuzz FuzzFrameRoundTrip -fuzztime 5s ./internal/codec
 	$(GO) test -run XXX -fuzz FuzzHistogramDecode -fuzztime 5s ./internal/metrics
+	$(GO) test -run XXX -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/durable
+
+# chaos-smoke is the crash-chaos battery: hard-kill a node mid-traffic
+# under the matchmaking and IoT workload specs and check the exactly-once
+# oracle — durable actors recover with state (0 lost), and the
+# no-durability control demonstrably loses state. Fresh run every time
+# (-count=1): chaos timing must not be cached away.
+chaos-smoke:
+	$(GO) test -run 'TestChaosKill' -count=1 ./internal/loadgen
 
 # bench-msgplane runs the message-plane micro-benchmarks (codec marshal /
 # deep copy, TCP throughput, local/remote call round trips).
@@ -86,3 +96,10 @@ workloads-smoke:
 bench-workloads:
 	$(GO) build -o bin/actop-bench ./cmd/actop-bench
 	./bin/actop-bench workloads -out BENCH_workloads.json
+
+# bench-recovery regenerates BENCH_recovery.json: per-turn snapshot
+# overhead at 0/1/2 replicas, and kill-to-recovered timing for 10K
+# durable actors at K=1 and K=2 with the exactly-once state oracle.
+bench-recovery:
+	$(GO) build -o bin/actop-bench ./cmd/actop-bench
+	./bin/actop-bench recovery -out BENCH_recovery.json

@@ -15,7 +15,9 @@
 // decomposition assembled from hop-carried call tracing. The workloads
 // subcommand runs the declarative workload-spec library through both the
 // simulator and a real loopback-TCP cluster, cross-checks the two, and
-// writes BENCH_workloads.json.
+// writes BENCH_workloads.json. The recovery subcommand measures durable
+// snapshot overhead and time-to-recover after a node kill, and writes
+// BENCH_recovery.json.
 //
 // By default experiments run at "quick" scale — the same per-server
 // operating point as the paper (load/server, CPU utilization) with a
@@ -47,6 +49,9 @@ func main() {
 			return
 		case "workloads":
 			runWorkloadsBench(os.Args[2:])
+			return
+		case "recovery":
+			runRecoveryBench(os.Args[2:])
 			return
 		}
 	}
@@ -193,6 +198,9 @@ experiments:
   workloads   declarative workload specs through DES and a real cluster,
               conformance-checked, with GOMAXPROCS=1 COST baselines
               (own flags; see actop-bench workloads -h)
+  recovery    durable-snapshot overhead at 0/1/2 replicas and time to
+              recover 10K durable actors after a node kill
+              (own flags; see actop-bench recovery -h)
   all         every figure above (not msgplane/trace/cluster)
 
 flags:`)

@@ -39,6 +39,10 @@ type debugPayload struct {
 	Membership map[string]string       `json:"membership"`
 	Failures   metrics.FailureSnapshot `json:"failures"`
 
+	// Durability plane: capture/ship/recovery counters, including the
+	// recovery-stampede throttle (recovery_throttled).
+	Durable metrics.DurableSnapshot `json:"durable"`
+
 	ActOpEnabled   bool  `json:"actop_enabled"`
 	ExchangeRounds int   `json:"exchange_rounds"`
 	ActorsMoved    int   `json:"actors_moved"`
@@ -89,6 +93,7 @@ func newDebugMux(sys *actor.System, opt *core.Optimizer, reg *metrics.Registry, 
 			p.Membership[string(peer)] = st.String()
 		}
 		p.Failures = sys.Failures()
+		p.Durable = sys.Durables()
 		recv, work, send := sys.Stages()
 		p.StageWorkers = []int{recv.Workers(), work.Workers(), send.Workers()}
 		p.StageQueueLens = []int{recv.QueueLen(), work.QueueLen(), send.QueueLen()}

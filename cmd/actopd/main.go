@@ -57,6 +57,10 @@ func (k *kvActor) Receive(ctx *actor.Context, method string, args []byte) ([]byt
 func (k *kvActor) Snapshot() ([]byte, error) { return codec.Marshal(k.Value) }
 func (k *kvActor) Restore(b []byte) error    { return codec.Unmarshal(b, &k.Value) }
 
+// DurableActor opts kv into snapshot replication when the node runs with
+// -durable-replicas > 0 (with 0 replicas the marker is inert).
+func (k *kvActor) DurableActor() {}
+
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:7001", "listen address (also the node id)")
@@ -68,6 +72,8 @@ func main() {
 		suspect  = flag.Int("suspect-after", 2, "consecutive missed heartbeats before a peer is suspect")
 		deadAft  = flag.Int("dead-after", 5, "consecutive missed heartbeats before a peer is declared dead")
 		noFail   = flag.Bool("no-failover", false, "disable the failure detector, call retries, and actor failover")
+		durRepl  = flag.Int("durable-replicas", 0, "peer replicas per durable actor snapshot (0 disables durability)")
+		snapIvl  = flag.Duration("snapshot-interval", 0, "wall-clock bound on durable snapshot staleness (0 = runtime default)")
 		debug    = flag.String("debug", "", "serve /debug/actop, /metrics + pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 		sample   = flag.Float64("trace-sample", 0.01, "fraction of root calls traced for /debug/actop/traces (0 disables)")
 		stats    = flag.Duration("stats", 10*time.Second, "stats logging period")
@@ -108,6 +114,8 @@ func main() {
 		SuspectAfter:          *suspect,
 		DeadAfter:             *deadAft,
 		DisableFailover:       *noFail,
+		DurableReplicas:       *durRepl,
+		SnapshotInterval:      *snapIvl,
 		TraceSampleRate:       *sample,
 		Metrics:               reg,
 	})

@@ -44,6 +44,17 @@ type activation struct {
 	// after the activation is published.
 	epoch uint64
 
+	// Durability plane (guarded by turnMu, like the turns that drive it).
+	// durable marks an activation whose type opted in via the Durable
+	// marker while the node runs with DurableReplicas > 0. dirty counts
+	// turns since the last capture, snapSeq the captures of this
+	// incarnation (piggybacked across migrations), lastSnap the wall-clock
+	// of the last capture.
+	durable  bool
+	dirty    int
+	snapSeq  uint64
+	lastSnap time.Time
+
 	// turnMu is held for the duration of each Receive; Migrate acquires it
 	// to guarantee no turn is in flight while the state is snapshotted.
 	turnMu sync.Mutex
@@ -176,6 +187,19 @@ func (a *activation) drain(s *System) {
 			inv.trc.exec = time.Since(tstart)
 			inv.trc.epoch = a.epoch
 		}
+		var snapJob func()
+		if a.durable && !panicked {
+			// Durability hook, still under the turn lock: count the dirty
+			// turn and, past the dirty-count or staleness threshold, capture
+			// the state (one deep copy — encode and ship run on the
+			// snapshotter pool, never here).
+			a.dirty++
+			if a.dirty >= s.cfg.SnapshotEvery || time.Since(a.lastSnap) >= s.cfg.SnapshotInterval {
+				if snapJob = s.captureSnapshotLocked(a); snapJob != nil && inv.trc != nil {
+					inv.trc.snapshot = true
+				}
+			}
+		}
 		a.turnMu.Unlock()
 		if panicked {
 			// Panic isolation: the instance may hold corrupt state, so
@@ -184,6 +208,15 @@ func (a *activation) drain(s *System) {
 			s.isolatePanic(a)
 		}
 		inv.respond(data, val, err)
+		if snapJob != nil {
+			// Hand the captured state to the snapshotter pool after the
+			// reply is on its way. A full queue drops the capture (counted);
+			// the next dirty turn re-triggers, and full-state snapshots make
+			// the skipped one subsumed, not lost.
+			if !s.snapPool.TrySubmit(snapJob) {
+				s.durables.CaptureDropped.Add(1)
+			}
+		}
 	}
 	// Batch exhausted: yield the worker and reschedule.
 	a.mu.Lock()
@@ -292,16 +325,38 @@ func (s *System) activationFor(ref Ref, activate, routed bool) (*activation, err
 	if node != s.Node() {
 		return nil, nil
 	}
-	// We are the host: instantiate (actor virtualization — §2). The
-	// activation record, its vertex mapping, and (by key) its directory/
-	// cache state all live in the ref's shard, so the double-checked
-	// install is a single shard lock.
+	// We are the host: instantiate (actor virtualization — §2).
+	inst := factory()
+	act = &activation{ref: ref, actor: inst, durable: s.isDurable(inst), lastSnap: time.Now()}
+	if act.durable {
+		// Recovery gate: a Durable actor activating here may be a failover
+		// re-activation of state that died with its old host. Consult the
+		// replica set BEFORE admitting the first turn — the pull happens
+		// outside every lock, and an unreachable replica set fails the
+		// activation (callers see a retryable pause, not amnesia).
+		rec, rerr := s.recoverSnapshot(ref)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if rec != nil {
+			if err := inst.(Migratable).Restore(rec.State); err != nil {
+				return nil, fmt.Errorf("actor: restore %s from replica snapshot: %w", ref, err)
+			}
+			// The recovered incarnation sits one epoch past the one that
+			// captured, so its own snapshots (and directory updates)
+			// outrank every resident replica copy — the failover-purge
+			// analog of migration's transfer-as-commit epoch roll.
+			act.epoch = rec.Epoch + 1
+		}
+	}
+	// The activation record, its vertex mapping, and (by key) its
+	// directory/cache state all live in the ref's shard, so the
+	// double-checked install is a single shard lock.
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if again, ok := sh.activations[ref]; ok {
 		return again, nil
 	}
-	act = &activation{ref: ref, actor: factory()}
 	sh.activations[ref] = act
 	sh.vertexRefs[h] = ref
 	// Any leftover tombstone is obsolete the moment a live activation

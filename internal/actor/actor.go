@@ -66,6 +66,22 @@ type Migratable interface {
 	Restore(data []byte) error
 }
 
+// Durable is the opt-in marker for actors whose state must survive node
+// death, not just migration: the runtime periodically captures their state
+// off the turn path (see Config.SnapshotEvery/SnapshotInterval), ships it
+// to Config.DurableReplicas rendezvous-chosen peers, and on failover
+// re-activation restores the highest-epoch replica snapshot before
+// admitting the first turn. The DurableActor method is a pure marker.
+// Durability is only active when Config.DurableReplicas > 0.
+//
+// Actors that additionally implement codec.Copier get the cheap capture:
+// the turn lock is held only for the deep copy, and the Snapshot encode
+// runs on the background snapshotter pool.
+type Durable interface {
+	Migratable
+	DurableActor()
+}
+
 // Factory creates a fresh (empty) actor instance of one type.
 type Factory func() Actor
 
@@ -139,6 +155,27 @@ type Config struct {
 	// backoff doubles per retry (with ±50% jitter) up to 16× this value,
 	// always within the CallTimeout budget (default 10ms).
 	RetryBackoff time.Duration
+
+	// DurableReplicas is the number of peer replicas each Durable actor's
+	// snapshots are shipped to (K in the durability protocol). Zero — the
+	// default — disables durability entirely: no captures, no snapshot
+	// traffic, no recovery pulls.
+	DurableReplicas int
+	// SnapshotEvery is the dirty-turn count that triggers a snapshot
+	// capture for a Durable activation (default 16).
+	SnapshotEvery int
+	// SnapshotInterval is the wall-clock bound on snapshot staleness: a
+	// dirty Durable activation captures at its next turn once this much
+	// time has passed since its last capture, even below SnapshotEvery
+	// (default 2s).
+	SnapshotInterval time.Duration
+	// SnapshotWorkers sizes the background snapshotter pool that encodes
+	// and ships captures off the turn path (default 2).
+	SnapshotWorkers int
+	// RecoveryConcurrency bounds concurrent failover recovery pulls so a
+	// hot dead node cannot thundering-herd the surviving replicas
+	// (default 8).
+	RecoveryConcurrency int
 
 	// DisableThreadControl turns off the live thread-allocation control
 	// loop (§5) that core.NewOptimizer attaches to this node's stages; the
@@ -217,6 +254,18 @@ func (c *Config) fill() error {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 16
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 2 * time.Second
+	}
+	if c.SnapshotWorkers <= 0 {
+		c.SnapshotWorkers = 2
+	}
+	if c.RecoveryConcurrency <= 0 {
+		c.RecoveryConcurrency = 8
 	}
 	if c.TraceRingSize <= 0 {
 		c.TraceRingSize = 4096

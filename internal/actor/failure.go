@@ -2,6 +2,7 @@ package actor
 
 import (
 	"hash/fnv"
+	"sync/atomic"
 	"time"
 
 	"actop/internal/metrics"
@@ -40,11 +41,22 @@ func (p PeerState) String() string {
 	return "unknown"
 }
 
-// memberEntry is the detector's per-peer record.
+// memberEntry is the detector's per-peer record. All fields are guarded by
+// fdMu except healthy, an atomic mirror of "state is Alive with no missed
+// pings" that lets the passive path (markPeerAlive, on every inbound
+// envelope) skip the mutex entirely in the steady state.
 type memberEntry struct {
 	state    PeerState
-	missed   int  // consecutive failed heartbeat round trips
-	inFlight bool // a ping to this peer is outstanding
+	missed   int       // consecutive failed heartbeat round trips
+	inFlight bool      // a ping to this peer is outstanding
+	deadAt   time.Time // when state last transitioned to PeerDead
+	healthy  atomic.Bool
+}
+
+// syncHealthyLocked re-derives the atomic mirror; call after any mutation
+// of state or missed under fdMu.
+func (m *memberEntry) syncHealthyLocked() {
+	m.healthy.Store(m.state == PeerAlive && m.missed == 0)
 }
 
 // heartbeatLoop drives the detector: every HeartbeatInterval, ping every
@@ -110,8 +122,10 @@ func (s *System) heartbeatResult(peer transport.NodeID, ok bool) {
 			m.state = PeerSuspect
 		case m.state == PeerSuspect && m.missed >= s.cfg.DeadAfter:
 			m.state = PeerDead
+			m.deadAt = time.Now()
 		}
 	}
+	m.syncHealthyLocked()
 	st := m.state
 	s.fdMu.Unlock()
 	if st != old {
@@ -119,18 +133,25 @@ func (s *System) heartbeatResult(peer transport.NodeID, ok bool) {
 	}
 }
 
-// markPeerAlive is the passive path: an inbound ping from a peer proves it
-// is reachable, so reset its record without waiting for our own ping.
+// markPeerAlive is the passive path: any inbound envelope from a peer
+// proves it is reachable, so reset its record without waiting for our own
+// ping. This runs on every received envelope, so the steady state (peer
+// already healthy) must stay off the detector mutex: the members map is
+// insert-free after NewSystem, and healthy is the atomic mirror of the
+// nothing-to-heal condition.
 func (s *System) markPeerAlive(peer transport.NodeID) {
-	s.fdMu.Lock()
 	m, ok := s.members[peer]
 	if !ok {
-		s.fdMu.Unlock()
 		return // not in our static membership; ignore
 	}
+	if m.healthy.Load() {
+		return
+	}
+	s.fdMu.Lock()
 	old := m.state
 	m.missed = 0
 	m.state = PeerAlive
+	m.syncHealthyLocked()
 	s.fdMu.Unlock()
 	if old != PeerAlive {
 		s.peerTransition(peer, old, PeerAlive)
@@ -146,6 +167,7 @@ func (s *System) peerTransition(peer transport.NodeID, from, to PeerState) {
 	case PeerDead:
 		s.failures.Deaths.Add(1)
 		s.failoverPurge(peer)
+		s.trackGo(s.reassertActivations)
 	case PeerAlive:
 		if from == PeerDead {
 			s.failures.Revivals.Add(1)
@@ -191,6 +213,61 @@ func (s *System) failoverPurge(dead transport.NodeID) {
 		sh.mu.Unlock()
 	}
 	s.failures.FailoverPurged.Add(purged)
+}
+
+// reassertActivations re-registers every locally hosted actor with its
+// directory owner after a peer death. A dead owner's directory ranges
+// rehash to survivors whose directories start empty, so until an entry
+// exists a routed call for an actor this node still hosts blind-places a
+// second incarnation elsewhere — a split brain where the live copy keeps
+// serving cached callers while the twin diverges from a stale snapshot.
+// Re-asserting right after the death closes that window to the detection
+// lag. The epoch travels with the update so the guard keeps a late
+// re-assert from rewinding a newer migration, and a failed send falls back
+// to the background retry loop (the update must eventually land — see
+// retryDirUpdate).
+func (s *System) reassertActivations() {
+	type claim struct {
+		ref   Ref
+		epoch uint64
+	}
+	var live []claim
+	for i := range s.state {
+		sh := &s.state[i]
+		sh.mu.RLock()
+		for ref, act := range sh.activations {
+			// epoch is immutable once the activation is published into the
+			// shard map, so reading it under the shard lock is ordered.
+			live = append(live, claim{ref: ref, epoch: act.epoch})
+		}
+		sh.mu.RUnlock()
+	}
+	for _, c := range live {
+		update := dirRequest{
+			Type: c.ref.Type, Key: c.ref.Key,
+			NewNode: string(s.Node()), Epoch: c.epoch,
+		}
+		if err := s.controlCall(s.directoryOwner(c.ref), ctlDirUpdate, update, nil); err != nil {
+			update := update
+			ref := c.ref
+			s.trackGo(func() { s.retryDirUpdate(ref, update) })
+		}
+	}
+}
+
+// peerDeadSince reports whether the detector currently considers peer dead
+// and, if so, when the verdict was reached. The snapshot plane uses the
+// timestamp to distrust fresh verdicts: a false positive (starved
+// heartbeats under load) looks identical to a real death at the moment it
+// fires, and acting on it by skipping a live replica turns a detector
+// hiccup into permanent state loss.
+func (s *System) peerDeadSince(peer transport.NodeID) (time.Time, bool) {
+	s.fdMu.Lock()
+	defer s.fdMu.Unlock()
+	if m, ok := s.members[peer]; ok && m.state == PeerDead {
+		return m.deadAt, true
+	}
+	return time.Time{}, false
 }
 
 // PeerStateOf reports the detector's current view of a peer. The local

@@ -19,8 +19,12 @@ type migratePayload struct {
 	Type, Key string
 	ID        string
 	Epoch     uint64
-	HasState  bool
-	State     []byte
+	// SnapSeq piggybacks the source incarnation's durable snapshot sequence
+	// so the new host continues the (epoch, seq) chain without an immediate
+	// full re-send: the transferred state IS the latest snapshot.
+	SnapSeq  uint64
+	HasState bool
+	State    []byte
 }
 
 // migrationID names one transfer attempt uniquely across the cluster.
@@ -95,7 +99,7 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 
 	// The transferred incarnation is one step further down the migration
 	// chain; its epoch versions the directory update below.
-	payload := migratePayload{Type: ref.Type, Key: ref.Key, ID: s.migrationID(), Epoch: act.epoch + 1}
+	payload := migratePayload{Type: ref.Type, Key: ref.Key, ID: s.migrationID(), Epoch: act.epoch + 1, SnapSeq: act.snapSeq}
 	if m, ok := act.actor.(Migratable); ok {
 		state, err := m.Snapshot()
 		if err != nil {
@@ -263,7 +267,10 @@ func (s *System) handleMigratePut(payload []byte) ([]byte, error) {
 			return nil, fmt.Errorf("actor: restore %s: %w", ref, err)
 		}
 	}
-	sh.activations[ref] = &activation{ref: ref, actor: inst, installID: p.ID, epoch: p.Epoch}
+	sh.activations[ref] = &activation{
+		ref: ref, actor: inst, installID: p.ID, epoch: p.Epoch,
+		durable: s.isDurable(inst), snapSeq: p.SnapSeq, lastSnap: time.Now(),
+	}
 	s.cacheInsertLocked(sh, ref, s.Node())
 	sh.vertexRefs[h] = ref
 	// A tombstone left by an earlier outbound migration of this ref is

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"actop/internal/codec"
+	"actop/internal/durable"
 	"actop/internal/graph"
 	"actop/internal/metrics"
 	"actop/internal/partition"
@@ -30,6 +31,13 @@ var (
 	ErrOverloaded = errors.New("actor: node overloaded")
 	// ErrStopped is returned after Stop.
 	ErrStopped = errors.New("actor: system stopped")
+	// ErrPeerDown is the retry-safe pause: a peer whose cooperation the
+	// call needs — the target host, a directory owner, or a snapshot
+	// replica holding a durable actor's state — is currently unreachable.
+	// The runtime retries it within the call budget rather than, say,
+	// resurrecting a durable actor with amnesia; callers that can wait
+	// longer than one budget should classify on this and resubmit.
+	ErrPeerDown = errors.New("actor: peer down")
 )
 
 const redirectPrefix = "__redirect:"
@@ -44,13 +52,15 @@ const (
 	ctlExchange    = "actop.exchange"
 	ctlPing        = "actop.ping"
 	ctlTraces      = "actop.traces"
+	ctlSnap        = "actop.snap"
+	ctlSnapGet     = "actop.snapget"
 	ctlPlacementOK = "ok"
 )
 
 // errPeerDown marks a call attempt that failed because its target is (or
 // just turned) suspect/dead — the retryable class of failures, alongside
 // transport.ErrUnreachable.
-var errPeerDown = errors.New("actor: peer down")
+var errPeerDown = ErrPeerDown
 
 // errRedirectChase marks a dispatch that exhausted its redirect budget: the
 // actor moved again at every hop of the chase. Retryable — each hop already
@@ -68,6 +78,18 @@ type System struct {
 	recvStage *seda.Stage
 	workStage *seda.Stage
 	sendStage *seda.Stage
+	// ctlStage serves inbound control verbs (directory, snapshots, pings)
+	// on workers of its own. Control verbs are all local and bounded —
+	// shard-lock reads and writes, never a remote call — while receive
+	// workers park in synchronous cross-node lookups (handleCall's routed
+	// re-confirm). Sharing one stage livelocks under a retry storm: every
+	// receive worker on each survivor parks waiting for a dir.lookup the
+	// other survivor's parked workers can't serve, each wait times out,
+	// every caller retries, and the cluster's control plane stays dark for
+	// whole call budgets. The split also keeps heartbeats honest under
+	// load — pings answered from saturated nodes stop the failure detector
+	// from declaring livelocked-but-live peers dead.
+	ctlStage *seda.Stage
 
 	// mu guards only the cold-path registration state: the type registry
 	// and the stopped flag. The hot-path maps live in the sharded state
@@ -113,6 +135,24 @@ type System struct {
 	bg   sync.WaitGroup
 
 	failures metrics.FailureCounters
+	durables metrics.DurableCounters
+
+	// Durability plane (durable.go): the replica store holding peers'
+	// snapshots (always non-nil — this node serves as a replica whether or
+	// not its own actors are durable), the background snapshotter pool, and
+	// the recovery-stampede semaphore (both nil unless DurableReplicas > 0).
+	snapStore   *durable.Store
+	snapPool    *durable.Pool
+	recoverySem chan struct{}
+
+	// Per-peer fetch breaker for recovery pulls (durable.go): after a
+	// failed snapshot fetch, further pulls treat that peer as unreachable
+	// without a new round trip until a heartbeat interval has passed — one
+	// receive worker pays the timeout per cooldown instead of a convoy of
+	// them (an undetected-dead or starved peer would otherwise park every
+	// worker that pulls a ref replicated there).
+	snapProbeMu   sync.Mutex
+	snapProbeFail map[transport.NodeID]time.Time
 
 	// Tracing plane: the root-call sampling decision, the completed-span
 	// ring, and (when a registry is configured) the per-method latency
@@ -147,6 +187,14 @@ func NewSystem(cfg Config) (*System, error) {
 		done:    make(chan struct{}),
 		sampler: trace.NewSampler(cfg.TraceSampleRate),
 		spans:   trace.NewRing(cfg.TraceRingSize),
+		// The replica store always exists: this node stores snapshots on
+		// behalf of peers even if none of its own types are durable.
+		snapStore: durable.NewStore(),
+	}
+	if cfg.DurableReplicas > 0 {
+		s.snapPool = durable.NewPool(cfg.SnapshotWorkers, 1024)
+		s.recoverySem = make(chan struct{}, cfg.RecoveryConcurrency)
+		s.snapProbeFail = make(map[transport.NodeID]time.Time)
 	}
 	s.initShards(cfg.LocCacheSize)
 	s.sampler.Seed(hashNode(cfg.Transport.Node()))
@@ -161,12 +209,17 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	for _, p := range peers {
 		if p != s.Node() {
-			s.members[p] = &memberEntry{state: PeerAlive}
+			m := &memberEntry{state: PeerAlive}
+			m.healthy.Store(true)
+			s.members[p] = m
 		}
 	}
 	s.recvStage = seda.NewStage("receiver", cfg.QueueCap, cfg.ReceiverWorkers)
 	s.workStage = seda.NewStage("worker", cfg.QueueCap, cfg.Workers)
 	s.sendStage = seda.NewStage("sender", cfg.QueueCap, cfg.SenderWorkers)
+	// Fixed-size and outside the thread controller: the control plane must
+	// keep its workers precisely when every adaptive stage is starved.
+	s.ctlStage = seda.NewStage("control", cfg.QueueCap, ctlStageWorkers(cfg.ReceiverWorkers))
 	s.tr.SetHandler(s.onEnvelope)
 	if !cfg.DisableFailover && len(peers) > 1 {
 		s.bg.Add(1)
@@ -194,6 +247,16 @@ func (s *System) trackGo(fn func()) bool {
 		fn()
 	}()
 	return true
+}
+
+// ctlStageWorkers sizes the control stage: a quarter of the receive pool,
+// at least two so one long verb (a migration-state install) can't delay a
+// heartbeat behind it.
+func ctlStageWorkers(receiverWorkers int) int {
+	if w := receiverWorkers / 4; w > 2 {
+		return w
+	}
+	return 2
 }
 
 func hashNode(n transport.NodeID) uint64 {
@@ -246,6 +309,10 @@ func (s *System) Stop() {
 	s.recvStage.Close()
 	s.workStage.Close()
 	s.sendStage.Close()
+	s.ctlStage.Close()
+	if s.snapPool != nil {
+		s.snapPool.Close()
+	}
 	s.bg.Wait()
 }
 
@@ -428,6 +495,7 @@ func (s *System) callLocalValue(sp *trace.Span, to Ref, method string, args, rep
 	case out := <-ch:
 		if sp != nil {
 			sp.WorkQueue, sp.Exec, sp.Epoch = trc.workQueue, trc.exec, trc.epoch
+			sp.Snapshot = trc.snapshot
 		}
 		switch {
 		case out.err != nil:
@@ -506,6 +574,25 @@ func (s *System) dispatchRetry(to Ref, method string, args []byte, sp *trace.Spa
 			}
 		}
 	}
+}
+
+// rehydrateWireErr restores sentinel identity to an error string received
+// off the wire. Envelope.Err carries only text, so without this a sentinel
+// raised on a remote hop arrives as an opaque error and the origin
+// misclassifies it. A redirect-chase, peer-down, or timeout the remote hit
+// against a dying third node is a transient — the origin's retry loop must
+// keep going (the callee's dedup window keeps re-sends at-most-once), not
+// surface it as terminal. Overload keeps its identity too, though it stays
+// non-retryable in dispatchRetry (§6.1 load shedding: the runtime must not
+// amplify a saturated node's queue with automatic retries) — identity lets
+// the caller classify it and back off deliberately.
+func rehydrateWireErr(msg string) error {
+	for _, sentinel := range []error{errRedirectChase, errPeerDown, ErrTimeout, ErrOverloaded} {
+		if pfx := sentinel.Error(); strings.HasPrefix(msg, pfx) {
+			return fmt.Errorf("%w%s", sentinel, strings.TrimPrefix(msg, pfx))
+		}
+	}
+	return errors.New(msg)
 }
 
 // retryable classifies call failures: transport-level unreachability and
@@ -655,6 +742,7 @@ func (s *System) invokeLocal(to Ref, method string, args []byte, deadline time.T
 	case out := <-ch:
 		if sp != nil {
 			sp.WorkQueue, sp.Exec, sp.Epoch = trc.workQueue, trc.exec, trc.epoch
+			sp.Snapshot = trc.snapshot
 		}
 		return out.data, out.err
 	case <-timer.C:
@@ -737,21 +825,16 @@ func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args [
 					if rt.Flags&transport.TraceFlagDedupHit != 0 {
 						sp.DedupHit = true
 					}
+					if rt.Flags&transport.TraceFlagSnapshot != 0 {
+						sp.Snapshot = true
+					}
 				}
 			}
 			if reply.Err != "" {
 				if strings.HasPrefix(reply.Err, redirectPrefix) {
 					return nil, redirectError{node: transport.NodeID(strings.TrimPrefix(reply.Err, redirectPrefix))}
 				}
-				if strings.HasPrefix(reply.Err, errRedirectChase.Error()) {
-					// A forwarded invocation exhausted its redirect budget on
-					// the remote node. Rehydrate the sentinel so the origin's
-					// retry loop treats it as the transient it is — the wire
-					// carries only the string, not the error identity.
-					return nil, fmt.Errorf("%w%s", errRedirectChase,
-						strings.TrimPrefix(reply.Err, errRedirectChase.Error()))
-				}
-				return nil, errors.New(reply.Err)
+				return nil, rehydrateWireErr(reply.Err)
 			}
 			return reply.Payload, nil
 		case <-timer.C:
@@ -773,6 +856,18 @@ func (s *System) remoteCall(node transport.NodeID, to Ref, method string, args [
 // waiting for sat in the queue behind them until the call timeout fired.
 func (s *System) onEnvelope(env *transport.Envelope) {
 	e := env
+	// Any inbound envelope is proof of life for its sender: passive failure
+	// detection on top of the active ping loop. Under load the active loop
+	// false-positives — pings starve while real traffic still flows — and a
+	// node wrongly marked dead stops being consulted for snapshot recovery
+	// and directory ownership, which turns a detector hiccup into lost
+	// state. Resetting on every received envelope heals the verdict at the
+	// next message from the peer. (A half-partitioned peer that can send
+	// but not receive reads as alive — the classic passive-detection
+	// tradeoff; the active loop still degrades it once its replies stop.)
+	if e.From != "" {
+		s.markPeerAlive(e.From)
+	}
 	if e.Kind == transport.KindReply {
 		if ch := s.pendGet(e.ID); ch != nil {
 			select {
@@ -783,9 +878,15 @@ func (s *System) onEnvelope(env *transport.Envelope) {
 		return
 	}
 	var err error
-	if e.Trace != nil && e.Kind == transport.KindCall {
+	switch {
+	case e.Kind == transport.KindControl:
+		// Control verbs ride their own stage (see ctlStage): they are the
+		// dependencies the parked receive workers wait on, so they must
+		// stay serviceable when the receive pool is saturated.
+		err = s.ctlStage.Submit(func() { s.handleControl(e) })
+	case e.Trace != nil && e.Kind == transport.KindCall:
 		err = s.recvStage.SubmitTimed(func(wait time.Duration) { s.handleCall(e, wait) })
-	} else {
+	default:
 		err = s.recvStage.Submit(func() { s.handle(e) })
 	}
 	if err != nil {
@@ -966,6 +1067,11 @@ func (s *System) handleCall(env *transport.Envelope, recvWait time.Duration) {
 	if s.srvDur != nil {
 		srvStart = time.Now()
 	}
+	// preTurn is true until the delivery is handed to an activation: errors
+	// before that point (activation failures — e.g. a durable recovery pull
+	// against a dying replica) describe the infrastructure at one instant,
+	// not the call, and must not be recorded against the call id.
+	preTurn := true
 	respond := func(data []byte, err error) {
 		errStr := ""
 		if err != nil {
@@ -981,9 +1087,12 @@ func (s *System) handleCall(env *transport.Envelope, recvWait time.Duration) {
 			// rest of the window — a retried chase could orbit the cluster
 			// on echoes long after the actor settled. Release the slot so
 			// the retry re-resolves; only executed turns (and real
-			// application errors) are deduplicated.
+			// application errors) are deduplicated. Pre-turn failures are
+			// the same kind of transient: no turn ran, so a retry must
+			// re-attempt the activation, not replay this snapshot of it.
 			if strings.HasPrefix(errStr, redirectPrefix) ||
-				strings.HasPrefix(errStr, "actor: cannot route") {
+				strings.HasPrefix(errStr, "actor: cannot route") ||
+				(preTurn && errStr != "") {
 				s.dedupCancel(key)
 			} else {
 				s.dedupResolve(key, data, errStr)
@@ -994,11 +1103,15 @@ func (s *System) handleCall(env *transport.Envelope, recvWait time.Duration) {
 			// The turn (if any) has completed: trc's timings are ordered
 			// before this callback by the respond channel send.
 			sp.WorkQueue, sp.Exec, sp.Epoch = trc.workQueue, trc.exec, trc.epoch
+			sp.Snapshot = trc.snapshot
 			sp.Err = errStr
 			rt = &transport.Trace{
 				TraceID: tr.TraceID, SpanID: tr.SpanID, ParentID: tr.ParentID,
 				RecvQueueNs: uint64(recvWait), WorkQueueNs: uint64(trc.workQueue),
 				ExecNs: uint64(trc.exec), Epoch: trc.epoch,
+			}
+			if trc.snapshot {
+				rt.Flags |= transport.TraceFlagSnapshot
 			}
 		}
 		s.sendReply(from, id, data, errStr, rt, sp)
@@ -1032,6 +1145,7 @@ func (s *System) handleCall(env *transport.Envelope, recvWait time.Duration) {
 	if trc != nil {
 		trc.enqueuedAt = time.Now()
 	}
+	preTurn = false
 	act.enqueue(invocation{
 		method: env.Method,
 		args:   env.Payload,
@@ -1251,7 +1365,7 @@ func (s *System) controlCallT(node transport.NodeID, verb string, args, reply in
 	select {
 	case r := <-ch:
 		if r.Err != "" {
-			return errors.New(r.Err)
+			return rehydrateWireErr(r.Err)
 		}
 		if reply != nil {
 			return codec.Unmarshal(r.Payload, reply)
@@ -1319,6 +1433,10 @@ func (s *System) handleControlVerb(verb string, payload []byte, from transport.N
 		return s.handleMigratePut(payload)
 	case ctlMigrateDrop:
 		return s.handleMigrateDrop(payload)
+	case ctlSnap:
+		return s.handleSnapPut(payload)
+	case ctlSnapGet:
+		return s.handleSnapGet(payload)
 	case ctlExchange:
 		return s.handleExchange(payload, from)
 	case ctlTraces:

@@ -31,6 +31,9 @@ type turnTiming struct {
 	workQueue  time.Duration
 	exec       time.Duration
 	epoch      uint64
+	// snapshot marks a turn that triggered a durable snapshot capture, so
+	// the span annotates durability cost the way it annotates retries.
+	snapshot bool
 }
 
 // ctx builds the trace context turns executed under this timing inherit.

@@ -1,0 +1,69 @@
+package durable
+
+import "sync"
+
+// Pool is the background snapshotter: a small fixed worker set draining a
+// bounded job queue. The turn path only ever pays a non-blocking submit —
+// when the queue is full the capture is dropped (and retried after the
+// next dirty turn), never waited for. Jobs are opaque closures so the
+// actor layer can bind encoding and shipping without this package learning
+// about transports.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewPool starts workers goroutines over a queue-slot job buffer.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queue <= 0 {
+		queue = 256
+	}
+	p := &Pool{jobs: make(chan func(), queue)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.jobs {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues fn without blocking. It reports false when the queue
+// is full or the pool is closed — the caller counts the drop and leaves
+// the activation dirty so a later turn retries the capture.
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops intake, drains the queued jobs, and waits for the workers.
+// Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

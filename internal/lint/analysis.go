@@ -1,8 +1,9 @@
-// Package lint is actop's domain-specific static-analysis suite: five
+// Package lint is actop's domain-specific static-analysis suite: six
 // analyzers that enforce runtime invariants generic tooling (vet,
 // staticcheck) cannot see — "never block inside an actor turn", "the DES
 // stays deterministic", "no I/O while a mutex is held", "pooled buffers
-// don't outlive their release", "metric labels stay low-cardinality".
+// don't outlive their release", "metric labels stay low-cardinality",
+// "no encode or I/O on the turn-locked snapshot-capture path".
 // Each invariant here was first paid for as a runtime bug found by the
 // chaos/race batteries of earlier PRs; the analyzers move those classes
 // of failure to compile time.
@@ -117,5 +118,6 @@ func Analyzers() []*Analyzer {
 		LockHeldIO,
 		PoolEscape,
 		MetricLabel,
+		SnapBlock,
 	}
 }

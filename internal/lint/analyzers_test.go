@@ -37,6 +37,11 @@ func TestMetricLabel(t *testing.T) {
 	linttest.Run(t, "metriclabel/a", lint.MetricLabel)
 }
 
+func TestSnapBlock(t *testing.T) {
+	linttest.CheckAnalyzer(t, lint.SnapBlock)
+	linttest.Run(t, "snapblock/a", lint.SnapBlock)
+}
+
 // TestSimDetScope pins the Match scoping: the same wall-clock calls that
 // fire inside a /des package must be invisible when the package path is
 // outside the simulation tree.
@@ -66,7 +71,7 @@ func TestSuiteNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Fatalf("expected the 5-analyzer suite, got %d", len(seen))
+	if len(seen) != 6 {
+		t.Fatalf("expected the 6-analyzer suite, got %d", len(seen))
 	}
 }

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SnapBlock polices the durability plane's hot-path contract: snapshot
+// capture runs with the activation's turn lock held (captureSnapshotLocked
+// is called from drain, between executing the turn and answering the
+// caller), so everything it does synchronously lands on the caller's
+// reply latency — the ±5% durability-overhead budget of PR 8. The cheap
+// work (a state copy, counter bumps) belongs on that path; the expensive
+// work (gob/codec encoding, transport sends, actor calls) must ride the
+// closure the capture returns, which the caller hands to the snapshotter
+// pool only after releasing the lock. The analyzer walks the static
+// intra-package call graph from every capture*Locked function and flags
+// encode and I/O calls that execute before the lock is released.
+// Function-literal bodies are exempt — a closure built on the locked path
+// runs wherever it is later invoked, which in this pattern is the
+// off-turn pool — and goroutine bodies likewise run off the lock.
+var SnapBlock = &Analyzer{
+	Name: "snapblock",
+	Doc:  "no encode (codec/gob/json) or I/O (transport send, actor call) reachable from a turn-locked snapshot capture (capture*Locked); defer it to the returned closure, which runs on the snapshotter pool",
+	Run:  runSnapBlock,
+}
+
+func runSnapBlock(pass *Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	// Roots: the turn-locked capture entry points, matched by the naming
+	// convention the runtime uses (captureSnapshotLocked and siblings).
+	// The *Locked suffix is the repo-wide marker for "caller holds the
+	// lock"; the capture prefix scopes this analyzer to the snapshot path
+	// rather than every locked helper.
+	type reachInfo struct {
+		parent *types.Func
+		root   *types.Func
+	}
+	reach := map[*types.Func]reachInfo{}
+	var queue []*types.Func
+	for fn := range decls {
+		if isCaptureLocked(fn) {
+			reach[fn] = reachInfo{nil, fn}
+			queue = append(queue, fn)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i].Pos() < queue[j].Pos() })
+	// BFS over static same-package calls made while the lock is held:
+	// go-statement and function-literal subtrees execute off the locked
+	// path and contribute no edges (argument expressions of a go call,
+	// which do evaluate inline, still do).
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		info := reach[fn]
+		forEachLockedNode(decls[fn].Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			callee := calleeFunc(pass.TypesInfo, call)
+			if callee == nil {
+				return
+			}
+			if _, hasBody := decls[callee]; !hasBody {
+				return
+			}
+			if _, seen := reach[callee]; seen {
+				return
+			}
+			reach[callee] = reachInfo{fn, info.root}
+			queue = append(queue, callee)
+		})
+	}
+	for fn, info := range reach {
+		chain := chainString(fn, func(f *types.Func) *types.Func {
+			return reach[f].parent
+		})
+		root := info.root
+		where := "in turn-locked capture " + funcDisplay(root)
+		if fn != root {
+			where = "reachable from turn-locked capture " + funcDisplay(root) + " via " + chain
+		}
+		scanSnapCalls(pass, decls[fn].Body, where)
+	}
+	return nil
+}
+
+// isCaptureLocked matches the snapshot-capture naming convention:
+// capture...Locked.
+func isCaptureLocked(fn *types.Func) bool {
+	n := fn.Name()
+	return strings.HasPrefix(n, "capture") && strings.HasSuffix(n, "Locked")
+}
+
+// forEachLockedNode visits every node that executes while the capture
+// holds the turn lock: it skips go-statement bodies and function literals
+// (both run later, off the lock) while still visiting a go call's
+// argument expressions, which evaluate inline.
+func forEachLockedNode(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case nil:
+			return false
+		case *ast.GoStmt:
+			for _, a := range n.Call.Args {
+				forEachLockedNode(a, visit)
+			}
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		visit(n)
+		return true
+	})
+}
+
+// scanSnapCalls flags encode and I/O calls in one on-lock body.
+func scanSnapCalls(pass *Pass, body ast.Node, where string) {
+	forEachLockedNode(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return
+		}
+		switch {
+		case isEncodeCall(fn):
+			pass.Reportf(call.Pos(),
+				"%s encodes %s; the blocked caller's reply waits on it — copy state under the lock and encode in the returned closure (snapshotter pool)", encodeKind(fn), where)
+		case fn.Name() == "Send" && pathHasSegment(funcPkgPath(fn), "transport"):
+			pass.Reportf(call.Pos(),
+				"transport send %s stalls the turn lock while a peer is slow; ship from the returned closure (snapshotter pool)", where)
+		case isActorCallMethod(fn):
+			pass.Reportf(call.Pos(),
+				"actor call (%s.%s) %s holds the turn lock across a round trip — and can deadlock if the callee needs this activation; call from the returned closure", recvTypeName(fn), fn.Name(), where)
+		}
+	})
+}
+
+// isEncodeCall matches serialization entry points: the repo's codec
+// package (Marshal/Unmarshal), the durable wire-record encoder
+// (AppendRecord/DecodeRecord), and stdlib gob/json encoders.
+func isEncodeCall(fn *types.Func) bool {
+	switch funcPkgPath(fn) {
+	case "encoding/gob", "encoding/json":
+		switch fn.Name() {
+		case "Encode", "Decode", "Marshal", "Unmarshal":
+			return true
+		}
+		return false
+	}
+	if pathHasSegment(funcPkgPath(fn), "codec") {
+		return fn.Name() == "Marshal" || fn.Name() == "Unmarshal"
+	}
+	if pathHasSegment(funcPkgPath(fn), "durable") {
+		return fn.Name() == "AppendRecord" || fn.Name() == "DecodeRecord"
+	}
+	return false
+}
+
+// encodeKind names the encode family for the diagnostic.
+func encodeKind(fn *types.Func) string {
+	switch p := funcPkgPath(fn); p {
+	case "encoding/gob", "encoding/json":
+		return lastSegment(p) + "." + fn.Name()
+	default:
+		return lastSegment(funcPkgPath(fn)) + "." + fn.Name()
+	}
+}

@@ -1,0 +1,9 @@
+// Package codec is a fixture stand-in for actop/internal/codec: snapblock
+// keys on Marshal/Unmarshal declared in a "codec" package segment.
+package codec
+
+// Marshal encodes v into the wire form.
+func Marshal(v interface{}) ([]byte, error) { return nil, nil }
+
+// Unmarshal decodes b into v.
+func Unmarshal(b []byte, v interface{}) error { return nil }

@@ -1,0 +1,66 @@
+// Fixture for the snapblock analyzer: encode and I/O on the turn-locked
+// snapshot-capture path, plus the deferral shapes (returned closures,
+// goroutines, non-capture functions) that must stay silent.
+package a
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"actor"
+	"codec"
+	"transport"
+)
+
+type activation struct{ state []byte }
+
+type system struct {
+	conn *transport.Conn
+	sys  *actor.System
+}
+
+// captureStateLocked is a root by naming convention: called with the
+// activation's turn lock held, between executing the turn and answering
+// the caller.
+func (s *system) captureStateLocked(a *activation) func() {
+	b, _ := codec.Marshal(a.state) // want `codec\.Marshal encodes in turn-locked capture \(system\)\.captureStateLocked`
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(a.state) // want `gob\.Encode encodes in turn-locked capture`
+	s.ship(b)
+	_ = s.sys.Call(actor.Ref{}, "m", nil, nil) // want `actor call \(System\.Call\) in turn-locked capture .* holds the turn lock across a round trip`
+	// Near miss: the returned closure runs on the snapshotter pool, off
+	// the lock — encode and ship belong exactly here.
+	state := append([]byte(nil), a.state...)
+	return func() {
+		enc, _ := codec.Marshal(state)
+		s.ship(enc)
+	}
+}
+
+// ship is only a violation because a locked capture reaches it.
+func (s *system) ship(b []byte) {
+	_ = s.conn.Send("peer", &transport.Envelope{}) // want `transport send reachable from turn-locked capture \(system\)\.captureStateLocked via \(system\)\.ship`
+}
+
+// captureAsyncLocked defers everything: goroutine bodies run off the
+// lock and are exempt (the spawn itself is cheap).
+func (s *system) captureAsyncLocked(a *activation) {
+	go func() {
+		b, _ := codec.Marshal(a.state)
+		s.ship(b)
+	}()
+}
+
+// captureState misses the Locked suffix: it is not called under a turn
+// lock, so it is not a root and its inline encode is legal.
+func (s *system) captureState(a *activation) {
+	b, _ := codec.Marshal(a.state)
+	s.ship(b)
+}
+
+// flushLocked holds a lock but is not a snapshot capture: snapblock
+// stays scoped to the capture path (lockheldio owns generic locked-path
+// I/O rules).
+func (s *system) flushLocked(a *activation) {
+	_, _ = codec.Marshal(a.state)
+}

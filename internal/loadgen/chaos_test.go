@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"actop/internal/actor"
+	"actop/internal/transport"
+	"actop/internal/workload/spec"
+)
+
+// newChaosCluster is newCluster on Flaky transports with a fast failure
+// detector, so a test can hard-kill a node mid-workload and watch
+// failover + durable recovery do their jobs within a few seconds.
+func newChaosCluster(t *testing.T, n, replicas int) ([]*actor.System, []*transport.Flaky) {
+	t.Helper()
+	net := transport.NewNetwork(0)
+	peers := make([]transport.NodeID, n)
+	flakies := make([]*transport.Flaky, n)
+	for i := 0; i < n; i++ {
+		peers[i] = transport.NodeID(fmt.Sprintf("cn-%d", i))
+		flakies[i] = transport.NewFlaky(net.Join(peers[i]), int64(2000+i))
+	}
+	systems := make([]*actor.System, n)
+	for i := 0; i < n; i++ {
+		sys, err := actor.NewSystem(actor.Config{
+			Transport: flakies[i], Peers: peers,
+			Workers: 16, Seed: int64(7 + i),
+			// Calls must outlive failure detection (~600ms at these
+			// settings) plus a snapshot-recovery pull.
+			CallTimeout:       8 * time.Second,
+			HeartbeatInterval: 50 * time.Millisecond,
+			SuspectAfter:      2,
+			DeadAfter:         5,
+			RetryBackoff:      5 * time.Millisecond,
+			DurableReplicas:   replicas,
+			SnapshotEvery:     4,
+			SnapshotInterval:  250 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems[i] = sys
+		t.Cleanup(sys.Stop)
+	}
+	return systems, flakies
+}
+
+// runKillMidWorkload replays one scenario against a 3-node chaos cluster,
+// hard-killing node 2 at the halfway quiesce point (snapshots flushed
+// first, so the cut is exact). The driver only ever submits through the
+// survivors. Returns the run result and the post-run per-actor audit.
+func runKillMidWorkload(t *testing.T, scenario string, replicas int) (*spec.Result, Audit, *Runner, []*actor.System) {
+	t.Helper()
+	sc, ok := spec.ScenarioByName(scenario, 0.5)
+	if !ok {
+		t.Fatalf("unknown scenario %q", scenario)
+	}
+	systems, flakies := newChaosCluster(t, 3, replicas)
+	victim := 2
+	runner, err := New(&sc.Spec, systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors := []*actor.System{systems[0], systems[1]}
+	res, err := runner.Run(Options{
+		Workers: 16,
+		Drive:   survivors,
+		Halfway: func() {
+			// The driver has quiesced: flush every dirty durable actor
+			// on the victim to its replicas, then pull the plug.
+			systems[victim].SyncSnapshots()
+			flakies[victim].Kill()
+		},
+	})
+	if err != nil {
+		t.Fatalf("run: %v (result: %+v)", err, res)
+	}
+	audit, err := runner.AuditOps(survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, audit, runner, systems
+}
+
+// TestChaosKillMatchmakingDurable is the headline chaos acceptance: a
+// node dies mid-run under the matchmaking workload with durability on,
+// and the recovered world still matches the exactly-once oracle — every
+// lobby roster, every per-actor op and leg count, zero lost actors.
+func TestChaosKillMatchmakingDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos run")
+	}
+	res, audit, runner, systems := runKillMidWorkload(t, "matchmaking", 1)
+	for _, inv := range res.CheckInvariants(runner.sp) {
+		t.Error(inv)
+	}
+	if res.Errors != 0 || res.Completed != res.Submitted {
+		t.Errorf("lost operations across the kill: %d errors, %d/%d completed",
+			res.Errors, res.Completed, res.Submitted)
+	}
+	if audit.Ops != res.OpsExecuted {
+		t.Errorf("op oracle broken: actors account %d ops, driver executed %d", audit.Ops, res.OpsExecuted)
+	}
+	if audit.Legs != res.LegsReceived {
+		t.Errorf("leg oracle broken: actors account %d legs, driver counted %d", audit.Legs, res.LegsReceived)
+	}
+	if audit.Members != res.JoinsRouted {
+		t.Errorf("lobby rosters lost members: recovered %d, routed %d", audit.Members, res.JoinsRouted)
+	}
+	var recovered uint64
+	for _, s := range systems[:2] {
+		recovered += s.Durables().RecoveredWithState
+	}
+	if recovered == 0 {
+		t.Error("kill recovered no snapshots — victim hosted nothing? adjust seeds")
+	}
+}
+
+// TestChaosKillIoTDurable runs the same kill under the IoT ingest
+// workload: the oracle here is the per-aggregator/device counters (ingest
+// legs), which must survive the crash intact.
+func TestChaosKillIoTDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos run")
+	}
+	res, audit, runner, systems := runKillMidWorkload(t, "iot", 1)
+	for _, inv := range res.CheckInvariants(runner.sp) {
+		t.Error(inv)
+	}
+	if res.Errors != 0 || res.Completed != res.Submitted {
+		t.Errorf("lost operations across the kill: %d errors, %d/%d completed",
+			res.Errors, res.Completed, res.Submitted)
+	}
+	if audit.Ops != res.OpsExecuted {
+		t.Errorf("op oracle broken: actors account %d ops, driver executed %d", audit.Ops, res.OpsExecuted)
+	}
+	if audit.Legs != res.LegsReceived {
+		t.Errorf("ingest oracle broken: actors account %d legs, driver counted %d", audit.Legs, res.LegsReceived)
+	}
+	var recovered uint64
+	for _, s := range systems[:2] {
+		recovered += s.Durables().RecoveredWithState
+	}
+	if recovered == 0 {
+		t.Error("kill recovered no snapshots — victim hosted nothing? adjust seeds")
+	}
+}
+
+// TestChaosKillWithoutDurabilityLosesState documents the loss the
+// durability plane exists to fix: the identical kill with
+// DurableReplicas=0 resurrects the victim's actors empty, so the
+// per-actor audit comes up short of the driver's totals.
+func TestChaosKillWithoutDurabilityLosesState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos run")
+	}
+	res, audit, _, _ := runKillMidWorkload(t, "iot", 0)
+	if res.Errors != 0 || res.Completed != res.Submitted {
+		t.Errorf("operations themselves should still complete via failover: %d errors, %d/%d",
+			res.Errors, res.Completed, res.Submitted)
+	}
+	if audit.Ops >= res.OpsExecuted && audit.Legs >= res.LegsReceived {
+		t.Errorf("expected amnesia with durability off, but audit (%d ops, %d legs) covers driver totals (%d ops, %d legs)",
+			audit.Ops, audit.Legs, res.OpsExecuted, res.LegsReceived)
+	}
+}

@@ -32,6 +32,18 @@ type Options struct {
 	// Workers sizes the submission pool (default 32): the max operations
 	// in flight at once from the driver.
 	Workers int
+
+	// Drive restricts which systems the driver submits through (and
+	// audits through). Empty means all of the runner's systems. Chaos
+	// runs set this to the survivors so the submission plane stays up
+	// while a victim node is hard-killed mid-run.
+	Drive []*actor.System
+
+	// Halfway, when set, fires once at the first scheduled event past
+	// Duration/2 — after the driver has drained every operation
+	// submitted so far, so the shared-memory oracle counters are exact
+	// at the cut. Chaos runs use it to flush snapshots and kill a node.
+	Halfway func()
 }
 
 // compiled call-tree node: the method string routes the real runtime's
@@ -76,6 +88,11 @@ type Runner struct {
 	dispatch  map[string]*stepNode // step method → subtree
 
 	gen [][]atomic.Int32 // per kind, per slot: churn generation
+
+	// lobbySlots records, per kind, how many lobby slots Run opened, so
+	// post-run audits (AuditOps after a chaos kill) can re-walk every
+	// lobby that ever existed.
+	lobbySlots []int
 
 	ctrs counters
 }
@@ -194,14 +211,54 @@ func (r *Runner) fanout(ctx *actor.Context, fromSlot int, steps []*stepNode, a *
 // specActor is the generic spec interpreter on the real runtime: one
 // activation per (kind, slot, generation).
 type specActor struct {
-	r     *Runner
-	init  bool
-	kind  int
-	slot  int
-	joins int // swarm kinds: members this lobby accounted
+	r    *Runner
+	init bool
+	kind int
+	slot int
+
+	// Durable per-actor effect counters: joins is the lobby roster
+	// (swarm kinds), ops/legs mirror the driver's shared-memory totals
+	// one actor at a time. AuditOps sums them back; with durability on,
+	// a hard-killed node's counts must survive into the re-activation.
+	joins int
+	ops   int
+	legs  int
+}
+
+// specState is the snapshot wire shape of a specActor: only the effect
+// counters travel — identity (kind/slot) re-derives from the ref.
+type specState struct {
+	Joins, Ops, Legs int
 }
 
 func (r *Runner) newActor() actor.Actor { return &specActor{r: r} }
+
+// Snapshot/Restore make every spec actor Migratable, and DurableActor
+// opts it into replication whenever the host system runs with
+// DurableReplicas > 0 (a plain run leaves durability off, so this is
+// free for the conformance tests).
+func (a *specActor) Snapshot() ([]byte, error) {
+	return codec.Marshal(specState{Joins: a.joins, Ops: a.ops, Legs: a.legs})
+}
+
+func (a *specActor) Restore(data []byte) error {
+	var st specState
+	if err := codec.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	a.joins, a.ops, a.legs = st.Joins, st.Ops, st.Legs
+	return nil
+}
+
+// CopyValue is the O(state) fast-capture path: a specActor is a handful
+// of ints plus the shared Runner pointer, so the turn-locked copy is one
+// struct copy and the encode runs on the snapshotter pool.
+func (a *specActor) CopyValue() interface{} {
+	cp := *a
+	return &cp
+}
+
+func (a *specActor) DurableActor() {}
 
 // identify parses the activation's (kind, slot) from its ref; activations
 // are single-threaded, so the lazy init is race-free.
@@ -229,8 +286,13 @@ func (a *specActor) Receive(ctx *actor.Context, method string, args []byte) ([]b
 	if err := a.identify(ctx); err != nil {
 		return nil, err
 	}
-	if method == "members" {
+	switch method {
+	case "members":
 		return codec.Marshal(a.joins)
+	case "opcount":
+		return codec.Marshal(a.ops)
+	case "legcount":
+		return codec.Marshal(a.legs)
 	}
 	var ca callArgs
 	if err := codec.Unmarshal(args, &ca); err != nil {
@@ -243,6 +305,7 @@ func (a *specActor) Receive(ctx *actor.Context, method string, args []byte) ([]b
 		}
 		node := a.r.ops[idx]
 		a.r.ctrs.opsExecuted.Add(1)
+		a.ops++
 		if node.op.Join {
 			a.joins++
 		}
@@ -250,6 +313,7 @@ func (a *specActor) Receive(ctx *actor.Context, method string, args []byte) ([]b
 	}
 	if sn, ok := a.r.dispatch[method]; ok {
 		a.r.ctrs.legsReceived.Add(1)
+		a.legs++
 		return nil, a.r.fanout(ctx, a.slot, sn.then, &ca)
 	}
 	return nil, fmt.Errorf("loadgen: unknown spec method %q", method)
@@ -270,6 +334,10 @@ func (r *Runner) Run(opts Options) (*spec.Result, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = 32
+	}
+	drive := opts.Drive
+	if len(drive) == 0 {
+		drive = r.systems
 	}
 	sched := spec.NewStream(r.sp).Schedule()
 
@@ -323,7 +391,18 @@ func (r *Runner) Run(opts Options) (*spec.Result, error) {
 	swarms := make([]swarm, len(r.sp.Kinds))
 
 	t0 := time.Now()
+	halfway := opts.Halfway
 	for _, d := range sched {
+		if halfway != nil && d.At >= r.sp.Duration/2 {
+			// Quiesce: every operation submitted so far must finish, so
+			// the oracle counters are a consistent cut before the hook
+			// flushes snapshots / kills a node.
+			for completed.Load()+errored.Load() < res.Submitted {
+				time.Sleep(time.Millisecond)
+			}
+			halfway()
+			halfway = nil
+		}
 		if wait := time.Until(t0.Add(d.At)); wait > 0 {
 			time.Sleep(wait)
 		}
@@ -358,7 +437,7 @@ func (r *Runner) Run(opts Options) (*spec.Result, error) {
 			}
 			res.Submitted++
 			jobs <- job{
-				sys:    r.systems[int(d.Src)%len(r.systems)],
+				sys:    drive[int(d.Src)%len(drive)],
 				ref:    ref,
 				method: "op" + strconv.Itoa(d.Op),
 				args:   node.args,
@@ -381,14 +460,16 @@ func (r *Runner) Run(opts Options) (*spec.Result, error) {
 
 	// Swarm audit: ask every lobby that ever opened for its own member
 	// count; the sum must reproduce the joins the driver routed.
+	r.lobbySlots = make([]int, len(r.sp.Kinds))
 	for ki := range r.sp.Kinds {
+		r.lobbySlots[ki] = swarms[ki].next
 		if r.sp.Kinds[ki].Capacity == 0 {
 			continue
 		}
 		for slot := 0; slot < swarms[ki].next; slot++ {
 			var n int
 			ref := actor.Ref{Type: r.typeNames[ki], Key: spec.KeyOf(slot, 0)}
-			if err := r.systems[slot%len(r.systems)].Call(ref, "members", nil, &n); err != nil {
+			if err := drive[slot%len(drive)].Call(ref, "members", nil, &n); err != nil {
 				return res, fmt.Errorf("loadgen: lobby %s audit: %w", ref, err)
 			}
 			res.LobbyMembers += uint64(n)
@@ -398,4 +479,88 @@ func (r *Runner) Run(opts Options) (*spec.Result, error) {
 		return res, fmt.Errorf("loadgen: %d/%d operations failed, first: %w", res.Errors, res.Submitted, firstErr)
 	}
 	return res, nil
+}
+
+// Audit is the per-actor view of a finished run: every actor the spec
+// ever addressed, asked for its own effect counters. With durability on,
+// these must reproduce the driver's shared-memory totals even after a
+// node hosting some of the actors was hard-killed — that is the
+// exactly-once oracle the chaos suite checks.
+type Audit struct {
+	Ops     uint64 // sum of per-actor executed-op counters
+	Legs    uint64 // sum of per-actor received-leg counters
+	Members uint64 // sum of lobby rosters (swarm kinds)
+}
+
+// AuditOps re-walks every (kind, slot, generation) the run addressed —
+// including every lobby slot that ever opened — and sums the per-actor
+// counters via the given systems (defaults to all of the runner's).
+// Actors that lived on a dead node re-activate on a survivor during the
+// walk, so the sums measure exactly what failover recovered.
+func (r *Runner) AuditOps(via []*actor.System) (Audit, error) {
+	if len(via) == 0 {
+		via = r.systems
+	}
+	var (
+		out Audit
+		i   int
+	)
+	query := func(ref actor.Ref, method string) (int, error) {
+		var n int
+		sys := via[i%len(via)]
+		i++
+		if err := sys.Call(ref, method, nil, &n); err != nil {
+			return 0, fmt.Errorf("loadgen: audit %s %s: %w", ref, method, err)
+		}
+		return n, nil
+	}
+	walk := func(ref actor.Ref, lobby bool) error {
+		o, err := query(ref, "opcount")
+		if err != nil {
+			return err
+		}
+		l, err := query(ref, "legcount")
+		if err != nil {
+			return err
+		}
+		out.Ops += uint64(o)
+		out.Legs += uint64(l)
+		if lobby {
+			m, err := query(ref, "members")
+			if err != nil {
+				return err
+			}
+			out.Members += uint64(m)
+		}
+		return nil
+	}
+	for ki := range r.sp.Kinds {
+		k := &r.sp.Kinds[ki]
+		if k.Capacity > 0 {
+			slots := 0
+			if r.lobbySlots != nil {
+				slots = r.lobbySlots[ki]
+			}
+			for slot := 0; slot < slots; slot++ {
+				ref := actor.Ref{Type: r.typeNames[ki], Key: spec.KeyOf(slot, 0)}
+				if err := walk(ref, true); err != nil {
+					return out, err
+				}
+			}
+			continue
+		}
+		for slot := 0; slot < k.Population; slot++ {
+			// Walk every generation the slot ever lived as: churned-away
+			// incarnations banked effects too, and with durability on
+			// their counters must still be recoverable.
+			maxGen := int(r.gen[ki][slot].Load())
+			for g := 0; g <= maxGen; g++ {
+				ref := actor.Ref{Type: r.typeNames[ki], Key: spec.KeyOf(slot, g)}
+				if err := walk(ref, false); err != nil {
+					return out, err
+				}
+			}
+		}
+	}
+	return out, nil
 }

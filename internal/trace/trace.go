@@ -57,7 +57,8 @@ type Span struct {
 	Retries   uint32 `json:"retries,omitempty"`
 	Redirects uint32 `json:"redirects,omitempty"`
 	DedupHit  bool   `json:"dedup_hit,omitempty"`
-	Epoch     uint64 `json:"epoch,omitempty"` // callee activation's migration epoch
+	Snapshot  bool   `json:"snapshot,omitempty"` // turn triggered a durable snapshot capture
+	Epoch     uint64 `json:"epoch,omitempty"`    // callee activation's migration epoch
 	Err       string `json:"err,omitempty"`
 }
 

@@ -84,6 +84,10 @@ type Trace struct {
 // rather than by re-executing the call.
 const TraceFlagDedupHit uint64 = 1 << 0
 
+// TraceFlagSnapshot marks a reply whose turn triggered a durable snapshot
+// capture (the copy under the turn lock; encode + ship happen off-path).
+const TraceFlagSnapshot uint64 = 1 << 1
+
 // clone returns an independent copy (nil-safe).
 func (tr *Trace) clone() *Trace {
 	if tr == nil {
