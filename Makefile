@@ -5,16 +5,17 @@
 GO ?= go
 LINT_BIN := bin/actop-lint
 
-.PHONY: check build test vet staticcheck lint race fuzz-smoke bench-msgplane cluster-smoke bench-scale workloads-smoke bench-workloads chaos-smoke bench-recovery
+.PHONY: check build test vet staticcheck lint race fuzz-smoke bench-msgplane cluster-smoke bench-scale workloads-smoke bench-workloads chaos-smoke bench-recovery obs-smoke
 
 # check is the pre-PR gate: vet (+ staticcheck when installed), the
 # domain lint suite, build everything, race-test the concurrency-heavy
-# packages (transport, actor, seda, codec, durable, loadgen), then the
-# full tier-1 suite, a short fuzz pass over the wire decoders, a
-# reduced-scale run of the multi-process cluster benchmark, the
-# DES-vs-real workload conformance smoke, and the crash-chaos battery
-# over the durability plane.
-check: vet staticcheck lint build race test fuzz-smoke cluster-smoke workloads-smoke chaos-smoke
+# packages (transport, actor, seda, codec, durable, loadgen, flight,
+# hotspot), then the full tier-1 suite, a short fuzz pass over the wire
+# decoders, a reduced-scale run of the multi-process cluster benchmark,
+# the DES-vs-real workload conformance smoke, the crash-chaos battery
+# over the durability plane, and the observability smoke (skewed-workload
+# hot-actor ranking + SLO-breach flight dump).
+check: vet staticcheck lint build race test fuzz-smoke cluster-smoke workloads-smoke chaos-smoke obs-smoke
 
 # lint builds the domain-specific analyzer suite once into bin/ (so
 # repeated runs reuse the Go build cache and the binary) and runs it over
@@ -39,7 +40,7 @@ staticcheck:
 	fi
 
 race:
-	$(GO) test -race -count=1 ./internal/transport/... ./internal/actor/... ./internal/seda/... ./internal/codec/... ./internal/durable/... ./internal/loadgen/... ./internal/workload/spec/...
+	$(GO) test -race -count=1 ./internal/transport/... ./internal/actor/... ./internal/seda/... ./internal/codec/... ./internal/durable/... ./internal/loadgen/... ./internal/workload/spec/... ./internal/flight/... ./internal/hotspot/...
 
 test:
 	$(GO) test ./...
@@ -53,6 +54,13 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzFrameRoundTrip -fuzztime 5s ./internal/codec
 	$(GO) test -run XXX -fuzz FuzzHistogramDecode -fuzztime 5s ./internal/metrics
 	$(GO) test -run XXX -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/durable
+
+# obs-smoke exercises the observability plane end to end: a skewed
+# workload on a 3-node in-memory cluster must rank the injected hot actor
+# first in the cluster-wide hot-actor table, and a breached p99 SLO
+# window must produce exactly one (debounced) flight-recorder dump.
+obs-smoke:
+	$(GO) test -run 'TestObsSmoke|TestSLOBreachDump' -count=1 ./internal/actor
 
 # chaos-smoke is the crash-chaos battery: hard-kill a node mid-traffic
 # under the matchmaking and IoT workload specs and check the exactly-once

@@ -53,6 +53,9 @@ func main() {
 		case "recovery":
 			runRecoveryBench(os.Args[2:])
 			return
+		case "top":
+			runTopCmd(os.Args[2:])
+			return
 		}
 	}
 	var (

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"actop/internal/hotspot"
+)
+
+// The top subcommand is a live cluster hot-actor view, `top` for actors: it
+// polls a node's /debug/actop/hotspots debug endpoint (cluster-assembled by
+// default) and renders the ranked table in place. Point it at any node's
+// -debug address; the node fans the query out to its peers.
+
+// topPayload mirrors cmd/actopd's hotspotsPayload (kept separate so the two
+// binaries share only the wire shape, not code).
+type topPayload struct {
+	Node    string          `json:"node"`
+	Cluster bool            `json:"cluster"`
+	Tracked int             `json:"tracked"`
+	Top     []hotspot.Entry `json:"top"`
+}
+
+func runTopCmd(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:6060", "debug address of any cluster node (its actopd -debug value)")
+	n := fs.Int("n", 20, "rows to show")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period")
+	once := fs.Bool("once", false, "print one table and exit (no screen clearing)")
+	local := fs.Bool("local", false, "show only the contacted node's actors (skip cluster assembly)")
+	_ = fs.Parse(args)
+
+	url := fmt.Sprintf("http://%s/debug/actop/hotspots?n=%d", *addr, *n)
+	if !*local {
+		url += "&cluster=1"
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	for {
+		p, err := fetchTop(client, url)
+		if err != nil {
+			fatalf("top: %v", err)
+		}
+		if !*once {
+			fmt.Print("\x1b[H\x1b[2J") // cursor home + clear screen
+		}
+		renderTop(p)
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetchTop(client *http.Client, url string) (*topPayload, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	var p topPayload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	return &p, nil
+}
+
+func renderTop(p *topPayload) {
+	scope := "cluster"
+	if !p.Cluster {
+		scope = "node " + p.Node
+	}
+	fmt.Fprintf(os.Stdout, "actop hot actors — %s (via %s, %s tracked locally)\n",
+		scope, p.Node, fmt.Sprintf("%d", p.Tracked))
+	fmt.Fprintf(os.Stdout, "%4s  %-14s %-28s %10s %8s %10s %10s %8s %6s\n",
+		"RANK", "NODE", "ACTOR", "COST", "TURNS", "EXEC_MS", "WAIT_MS", "IN_KB", "MIGR")
+	for i, e := range p.Top {
+		fmt.Fprintf(os.Stdout, "%4d  %-14s %-28s %10d %8d %10.1f %10.1f %8.1f %6d\n",
+			i+1, e.Node, e.Actor, e.Cost, e.Turns,
+			float64(e.ExecNs)/1e6, float64(e.WaitNs)/1e6,
+			float64(e.BytesIn)/1024, e.Migrations)
+	}
+	if len(p.Top) == 0 {
+		fmt.Fprintln(os.Stdout, "  (no hot actors — profiler disabled or no traffic yet)")
+	}
+}

@@ -10,6 +10,8 @@ import (
 
 	"actop/internal/actor"
 	"actop/internal/core"
+	"actop/internal/flight"
+	"actop/internal/hotspot"
 	"actop/internal/metrics"
 	"actop/internal/trace"
 )
@@ -62,6 +64,27 @@ type tracesPayload struct {
 	Spans    []trace.Span      `json:"spans,omitempty"`
 	TraceID  uint64            `json:"trace_id,omitempty"`
 	Trees    []*trace.TreeNode `json:"trees,omitempty"`
+}
+
+// hotspotsPayload is the /debug/actop/hotspots JSON document: the node's
+// (or, with ?cluster=1, the cluster's) hottest actors by decayed cost.
+type hotspotsPayload struct {
+	Node    string          `json:"node"`
+	Cluster bool            `json:"cluster"`
+	Tracked int             `json:"tracked"`
+	Top     []hotspot.Entry `json:"top"`
+}
+
+// flightPayload is the /debug/actop/flight JSON document: ring counters,
+// the newest events, and the retained anomaly dumps.
+type flightPayload struct {
+	Node        string         `json:"node"`
+	Recorded    uint64         `json:"events_recorded"`
+	Overwritten uint64         `json:"events_overwritten"`
+	Dumps       uint64         `json:"dumps_taken"`
+	Suppressed  uint64         `json:"triggers_suppressed"`
+	Events      []flight.Event `json:"events"`
+	DumpList    []flight.Dump  `json:"dump_list,omitempty"`
 }
 
 // newDebugMux serves /debug/actop (controller + node introspection),
@@ -136,6 +159,50 @@ func newDebugMux(sys *actor.System, opt *core.Optimizer, reg *metrics.Registry, 
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(p)
 	})
+	mux.HandleFunc("/debug/actop/hotspots", func(w http.ResponseWriter, r *http.Request) {
+		n := 20
+		if ns := r.URL.Query().Get("n"); ns != "" {
+			if v, err := strconv.Atoi(ns); err == nil && v > 0 {
+				n = v
+			}
+		}
+		p := hotspotsPayload{Node: string(sys.Node())}
+		if pf := sys.HotspotProfiler(); pf != nil {
+			p.Tracked = pf.Tracked()
+		}
+		if r.URL.Query().Get("cluster") == "1" {
+			p.Cluster = true
+			p.Top = sys.ClusterHotspots(n)
+		} else {
+			p.Top = sys.LocalHotspots(n)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p)
+	})
+	mux.HandleFunc("/debug/actop/flight", func(w http.ResponseWriter, r *http.Request) {
+		limit := 200
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			if v, err := strconv.Atoi(ls); err == nil && v > 0 {
+				limit = v
+			}
+		}
+		fr := sys.FlightRecorder()
+		p := flightPayload{
+			Node:        string(sys.Node()),
+			Recorded:    fr.Recorded(),
+			Overwritten: fr.Overwritten(),
+			Dumps:       fr.DumpsTaken(),
+			Suppressed:  fr.Suppressed(),
+			Events:      fr.Snapshot(limit),
+			DumpList:    fr.Dumps(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.Write(w)
@@ -157,5 +224,5 @@ func serveDebug(addr string, sys *actor.System, opt *core.Optimizer, reg *metric
 			log.Printf("debug server on %s: %v", addr, err)
 		}
 	}()
-	log.Printf("debug endpoints on http://%s/debug/actop (traces under /debug/actop/traces, metrics on /metrics, pprof under /debug/pprof/)", addr)
+	log.Printf("debug endpoints on http://%s/debug/actop (traces, hotspots, flight under /debug/actop/*, metrics on /metrics, pprof under /debug/pprof/)", addr)
 }

@@ -158,3 +158,71 @@ func TestTracesEndpoint(t *testing.T) {
 		t.Errorf("bad trace id served status %d, want 400", code)
 	}
 }
+
+func TestHotspotsEndpoint(t *testing.T) {
+	sys, reg := newDebugNode(t)
+	srv := httptest.NewServer(newDebugMux(sys, nil, reg, time.Now()))
+	defer srv.Close()
+
+	// Skew the traffic: one hot key, a few cold ones.
+	for i := 0; i < 50; i++ {
+		if err := sys.Call(actor.Ref{Type: "kv", Key: "hot"}, "Put", "v", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := sys.Call(actor.Ref{Type: "kv", Key: fmt.Sprintf("cold%d", i)}, "Put", "v", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, path := range []string{"/debug/actop/hotspots?n=5", "/debug/actop/hotspots?cluster=1&n=5"} {
+		code, body := getBody(t, srv, path)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", path, code)
+		}
+		var p hotspotsPayload
+		if err := json.Unmarshal([]byte(body), &p); err != nil {
+			t.Fatalf("%s: bad JSON: %v\n%s", path, err, body)
+		}
+		if p.Node != "node-a" || p.Tracked == 0 {
+			t.Fatalf("%s: payload header wrong: %+v", path, p)
+		}
+		if len(p.Top) == 0 || p.Top[0].Actor != "kv/hot" {
+			t.Fatalf("%s: rank 1 = %+v, want kv/hot", path, p.Top)
+		}
+		if len(p.Top) > 5 {
+			t.Fatalf("%s: n=5 returned %d entries", path, len(p.Top))
+		}
+	}
+}
+
+func TestFlightEndpoint(t *testing.T) {
+	sys, reg := newDebugNode(t)
+	srv := httptest.NewServer(newDebugMux(sys, nil, reg, time.Now()))
+	defer srv.Close()
+
+	// A panic is both a flight event and an anomaly trigger.
+	if err := sys.Call(actor.Ref{Type: "kv", Key: "victim"}, "NoSuchMethod", "x", nil); err == nil {
+		t.Fatal("expected an error from an unknown method")
+	}
+	sys.FlightRecorder().Trigger("test_trigger", "endpoint smoke")
+
+	code, body := getBody(t, srv, "/debug/actop/flight?limit=50")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var p flightPayload
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if p.Node != "node-a" || p.Recorded == 0 || len(p.Events) == 0 {
+		t.Fatalf("flight payload empty: %+v", p)
+	}
+	if p.Dumps != 1 || len(p.DumpList) != 1 {
+		t.Fatalf("dumps = %d / %d retained, want 1", p.Dumps, len(p.DumpList))
+	}
+	d := p.DumpList[0]
+	if d.Trigger != "test_trigger" || d.Runtime.Goroutines <= 0 {
+		t.Fatalf("dump malformed: %+v", d)
+	}
+}

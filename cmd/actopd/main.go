@@ -76,6 +76,10 @@ func main() {
 		snapIvl  = flag.Duration("snapshot-interval", 0, "wall-clock bound on durable snapshot staleness (0 = runtime default)")
 		debug    = flag.String("debug", "", "serve /debug/actop, /metrics + pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 		sample   = flag.Float64("trace-sample", 0.01, "fraction of root calls traced for /debug/actop/traces (0 disables)")
+		noHot    = flag.Bool("no-hotspots", false, "disable the per-actor hot-spot profiler")
+		hotK     = flag.Int("hotspot-k", 0, "hot-spot sketch capacity per node (0 = runtime default)")
+		fltRing  = flag.Int("flight-ring", 0, "flight recorder ring size in events (0 = runtime default)")
+		sloTgt   = flag.Duration("slo", 0, "p99 call-latency SLO; breaches trigger a flight dump (0 disables)")
 		stats    = flag.Duration("stats", 10*time.Second, "stats logging period")
 		call     = flag.String("call", "", "one-shot: call type/key instead of serving")
 		method   = flag.String("method", "Get", "one-shot method")
@@ -106,6 +110,7 @@ func main() {
 	started := time.Now()
 	uptime := reg.Gauge("actop_uptime_seconds", "Seconds since this node started.")
 	reg.OnCollect(func(*metrics.Registry) { uptime.Set(time.Since(started).Seconds()) })
+	metrics.RegisterRuntimeGauges(reg)
 	sys, err := actor.NewSystem(actor.Config{
 		Transport: tr, Peers: uniq, Seed: time.Now().UnixNano(),
 		DisableThreadControl:  *noTune,
@@ -117,6 +122,10 @@ func main() {
 		DurableReplicas:       *durRepl,
 		SnapshotInterval:      *snapIvl,
 		TraceSampleRate:       *sample,
+		DisableHotspots:       *noHot,
+		HotspotK:              *hotK,
+		FlightRingSize:        *fltRing,
+		SLOTarget:             *sloTgt,
 		Metrics:               reg,
 	})
 	if err != nil {
@@ -151,6 +160,7 @@ func main() {
 	if !*noActOp {
 		opts := core.DefaultOptions()
 		opts.Metrics = reg
+		opts.Flight = sys.FlightRecorder()
 		opt = core.NewOptimizer(sys, opts)
 		opt.Start()
 		defer opt.Stop()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"actop/internal/codec"
+	"actop/internal/flight"
 )
 
 // invocation is one queued actor method call with its completion callback.
@@ -25,6 +26,10 @@ type invocation struct {
 	// mailbox wait and execution time into it before respond fires, and the
 	// turn's Context inherits its trace identity.
 	trc *turnTiming
+	// at is the enqueue instant, set only when the hot-spot profiler is on:
+	// the drain loop charges the mailbox wait (drain start minus at) to the
+	// actor's profile.
+	at time.Time
 }
 
 // activation is one live actor instance with a turn-based mailbox: the
@@ -33,6 +38,9 @@ type invocation struct {
 type activation struct {
 	ref   Ref
 	actor Actor
+	// refH caches refHash(ref) so the profiler's per-drain flush never
+	// re-hashes the ref strings. Immutable.
+	refH uint64
 	// installID, when non-empty, names the migration transfer that created
 	// this activation; ID-matched drops (failed-transfer cleanup) may only
 	// remove the install they were issued against.
@@ -72,7 +80,20 @@ type activation struct {
 	// forwarded, when set, means the activation migrated away; enqueued
 	// invocations are re-routed to the new host.
 	forwarded bool
+	// profEnq counts enqueues for mailbox-wait sampling (guarded by mu).
+	profEnq uint64
+	// profSeq counts turns for exec-time sampling. Only the (serialized)
+	// drain touches it; successive drains are ordered through mu, so no
+	// atomic is needed.
+	profSeq uint64
 }
+
+// profSample is the profiler's timing sample rate (power of two): one turn
+// in profSample reads the clock for exec time, one enqueue in profSample
+// stamps for mailbox wait, and the measurements scale back up by
+// profSample. Turn and byte counts stay exact — only the clock reads, the
+// expensive part (~75ns each on a vDSO-less guest), are sampled.
+const profSample = 8
 
 // turnBatch bounds invocations processed per worker-stage task so one hot
 // actor cannot starve the stage.
@@ -117,6 +138,15 @@ func (a *activation) enqueue(inv invocation, s *System) {
 		s.forwardInvocation(a.ref, inv)
 		return
 	}
+	if s.prof != nil {
+		// Mailbox-wait sampling: stamp one enqueue in profSample; the drain
+		// loop scales the measured wait back up. An unsampled invocation
+		// keeps at zero and costs this path nothing but the counter.
+		a.profEnq++
+		if a.profEnq&(profSample-1) == 0 {
+			inv.at = time.Now()
+		}
+	}
 	a.queue = append(a.queue, inv)
 	need := !a.scheduled
 	if need {
@@ -143,7 +173,16 @@ func (a *activation) schedule(s *System) {
 
 // drain processes up to turnBatch invocations, then reschedules itself if
 // more arrived.
+//
+// Profiler accounting is batched and sampled: per-turn figures accumulate
+// in locals and fold into the hot-spot sketch once per drain — so the
+// hottest actors (the ones that fill their batch) amortize the sketch's
+// stripe lock up to turnBatch× — and clock reads happen on one turn in
+// profSample (scaled back up), so the steady-state turn path adds two
+// counter bumps, no clock reads, and no allocations.
 func (a *activation) drain(s *System) {
+	pf := s.prof
+	var turns, execNs, waitNs, bytesIn uint64
 	for i := 0; i < turnBatch; i++ {
 		a.mu.Lock()
 		if a.queueLen() == 0 || a.forwarded {
@@ -156,6 +195,9 @@ func (a *activation) drain(s *System) {
 			a.mu.Unlock()
 			for _, inv := range pending {
 				s.forwardInvocation(a.ref, inv)
+			}
+			if pf != nil && turns > 0 {
+				pf.ObserveTurns(a.refH, a.ref.Type, a.ref.Key, turns, execNs, waitNs, bytesIn)
 			}
 			return
 		}
@@ -176,16 +218,40 @@ func (a *activation) drain(s *System) {
 			continue
 		}
 		ctx := &Context{sys: s, self: a.ref}
+		var sampled bool
+		if pf != nil {
+			turns++
+			bytesIn += uint64(len(inv.args))
+			a.profSeq++
+			sampled = a.profSeq&(profSample-1) == 0
+		}
 		var tstart time.Time
-		if inv.trc != nil {
+		timed := inv.trc != nil || sampled
+		if timed {
 			tstart = time.Now()
+		}
+		if inv.trc != nil {
 			inv.trc.workQueue = tstart.Sub(inv.trc.enqueuedAt)
 			ctx.trc = inv.trc.ctx()
 		}
+		if pf != nil && !inv.at.IsZero() {
+			// A wait-stamped invocation stands in for profSample of them.
+			now := tstart
+			if !timed {
+				now = time.Now()
+			}
+			waitNs += uint64(now.Sub(inv.at)) * profSample
+		}
 		data, val, err, panicked := a.invoke(ctx, inv)
-		if inv.trc != nil {
-			inv.trc.exec = time.Since(tstart)
-			inv.trc.epoch = a.epoch
+		if timed {
+			d := time.Since(tstart)
+			if sampled {
+				execNs += uint64(d) * profSample
+			}
+			if inv.trc != nil {
+				inv.trc.exec = d
+				inv.trc.epoch = a.epoch
+			}
 		}
 		var snapJob func()
 		if a.durable && !panicked {
@@ -217,6 +283,9 @@ func (a *activation) drain(s *System) {
 				s.durables.CaptureDropped.Add(1)
 			}
 		}
+	}
+	if pf != nil && turns > 0 {
+		pf.ObserveTurns(a.refH, a.ref.Type, a.ref.Key, turns, execNs, waitNs, bytesIn)
 	}
 	// Batch exhausted: yield the worker and reschedule.
 	a.mu.Lock()
@@ -267,6 +336,9 @@ func (a *activation) invoke(ctx *Context, inv invocation) (data []byte, val inte
 // call builds a fresh instance from the factory.
 func (s *System) isolatePanic(a *activation) {
 	s.failures.Panics.Add(1)
+	// A panic is both a flight event and an anomaly trigger: the dump
+	// captures what the runtime was doing when the actor blew up.
+	s.flight.Trigger(flight.KindPanic, a.ref.String())
 	sh := s.shardOf(a.ref)
 	sh.mu.Lock()
 	if cur, ok := sh.activations[a.ref]; ok && cur == a {
@@ -327,7 +399,7 @@ func (s *System) activationFor(ref Ref, activate, routed bool) (*activation, err
 	}
 	// We are the host: instantiate (actor virtualization — §2).
 	inst := factory()
-	act = &activation{ref: ref, actor: inst, durable: s.isDurable(inst), lastSnap: time.Now()}
+	act = &activation{ref: ref, refH: refHash(ref), actor: inst, durable: s.isDurable(inst), lastSnap: time.Now()}
 	if act.durable {
 		// Recovery gate: a Durable actor activating here may be a failover
 		// re-activation of state that died with its old host. Consult the

@@ -199,6 +199,28 @@ type Config struct {
 	// metrics.Registry.WritePrometheus). Nil disables registry recording.
 	Metrics *metrics.Registry
 
+	// DisableHotspots turns off the per-actor hot-spot profiler. On by
+	// default: per-turn accounting batched per mailbox drain into a
+	// bounded heavy-hitter sketch (internal/hotspot), O(HotspotK) memory.
+	DisableHotspots bool
+	// HotspotK sizes the hot-spot sketch — roughly how many actors the
+	// node tracks as candidates for the hot table (default 512).
+	HotspotK int
+	// HotspotDecay is the profiler's cost half-life: every interval, all
+	// tracked costs halve, so the table reads "hot now" (default 30s).
+	HotspotDecay time.Duration
+	// FlightRingSize caps the flight recorder's event ring (default 1024).
+	FlightRingSize int
+	// FlightDebounce is the minimum gap between anomaly dumps of the same
+	// trigger kind (default 30s) — a storm of violations produces one
+	// black-box dump, not one per violation.
+	FlightDebounce time.Duration
+	// SLOTarget, when non-zero, arms the p99 SLO watcher: call latency
+	// feeds a rolling window, and a window whose p99 exceeds the target
+	// triggers a debounced flight-recorder dump. Zero (the default)
+	// disables the watcher and its per-call clock reads.
+	SLOTarget time.Duration
+
 	// Seed drives placement randomness.
 	Seed int64
 }
@@ -269,6 +291,18 @@ func (c *Config) fill() error {
 	}
 	if c.TraceRingSize <= 0 {
 		c.TraceRingSize = 4096
+	}
+	if c.HotspotK <= 0 {
+		c.HotspotK = 512
+	}
+	if c.HotspotDecay <= 0 {
+		c.HotspotDecay = 30 * time.Second
+	}
+	if c.FlightRingSize <= 0 {
+		c.FlightRingSize = 1024
+	}
+	if c.FlightDebounce <= 0 {
+		c.FlightDebounce = 30 * time.Second
 	}
 	return nil
 }

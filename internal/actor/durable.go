@@ -8,6 +8,7 @@ import (
 
 	"actop/internal/codec"
 	"actop/internal/durable"
+	"actop/internal/flight"
 	"actop/internal/metrics"
 	"actop/internal/transport"
 )
@@ -89,6 +90,7 @@ func (s *System) shipSnapshot(ref Ref, epoch, seq uint64, state []byte) {
 	payload := durable.AppendRecord(nil, durable.Record{
 		Type: ref.Type, Key: ref.Key, Epoch: epoch, Seq: seq, State: state,
 	})
+	s.flight.Record(flight.Event{Kind: flight.KindSnapshotShip, Actor: ref.String(), N: uint64(len(payload))})
 	for _, p := range s.snapReplicas(ref) {
 		// A plain dead-skip is right here, unlike on the recovery path: a
 		// ship withheld from a falsely-accused peer costs one interval of
@@ -198,6 +200,10 @@ func (s *System) recoverSnapshot(ref Ref) (*durable.Record, error) {
 		// a retryable refusal sheds the excess back to the caller's retry
 		// loop instead (same shape as §6.1 overload handling).
 		s.durables.RecoveryThrottled.Add(1)
+		// Recovery throttling marks a stampede in progress — trigger a
+		// black-box dump so the herd's shape (deaths, purges, pulls) is
+		// preserved even if the incident self-heals.
+		s.flight.Trigger(flight.KindRecoveryThrottled, ref.String())
 		wait := s.cfg.HeartbeatInterval
 		if w := 2 * s.cfg.RetryBackoff; w > wait {
 			wait = w
@@ -299,12 +305,15 @@ func (s *System) recoverSnapshot(ref Ref) (*durable.Record, error) {
 		// activation keeps callers retrying instead of resurrecting the
 		// actor with amnesia next to a recoverable snapshot.
 		s.durables.RecoveryFailed.Add(1)
+		s.flight.Record(flight.Event{Kind: flight.KindRecovery, Actor: ref.String(), Detail: "failed", N: uint64(fails)})
 		return nil, fmt.Errorf("%w: %d replica(s) unreachable recovering %s", errPeerDown, fails, ref)
 	}
 	if best != nil {
 		s.durables.RecoveredWithState.Add(1)
+		s.flight.Record(flight.Event{Kind: flight.KindRecovery, Actor: ref.String(), Detail: "with_state", N: best.Epoch})
 	} else {
 		s.durables.RecoveryEmpty.Add(1)
+		s.flight.Record(flight.Event{Kind: flight.KindRecovery, Actor: ref.String(), Detail: "empty"})
 	}
 	return best, nil
 }

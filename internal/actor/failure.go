@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"actop/internal/flight"
 	"actop/internal/metrics"
 	"actop/internal/transport"
 )
@@ -161,11 +162,18 @@ func (s *System) markPeerAlive(peer transport.NodeID) {
 // peerTransition records a membership change, runs failover on a death,
 // and notifies watchers. Called outside fdMu.
 func (s *System) peerTransition(peer transport.NodeID, from, to PeerState) {
+	s.flight.Record(flight.Event{
+		Kind: flight.KindMembership, Peer: string(peer),
+		Detail: from.String() + "->" + to.String(),
+	})
 	switch to {
 	case PeerSuspect:
 		s.failures.Suspects.Add(1)
 	case PeerDead:
 		s.failures.Deaths.Add(1)
+		// A death verdict is an anomaly trigger: the dump preserves the
+		// membership flapping, purges, and recovery traffic around it.
+		s.flight.Trigger(flight.KindPeerDead, string(peer))
 		s.failoverPurge(peer)
 		s.trackGo(s.reassertActivations)
 	case PeerAlive:
@@ -213,6 +221,7 @@ func (s *System) failoverPurge(dead transport.NodeID) {
 		sh.mu.Unlock()
 	}
 	s.failures.FailoverPurged.Add(purged)
+	s.flight.Record(flight.Event{Kind: flight.KindFailoverPurge, Peer: string(dead), N: purged})
 }
 
 // reassertActivations re-registers every locally hosted actor with its

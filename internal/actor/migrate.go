@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"actop/internal/codec"
+	"actop/internal/flight"
 	"actop/internal/graph"
 	"actop/internal/partition"
 	"actop/internal/transport"
@@ -162,6 +163,10 @@ func (s *System) Migrate(ref Ref, to transport.NodeID) error {
 	s.monMu.Unlock()
 
 	s.migrationsOut.Add(1)
+	if s.prof != nil {
+		s.prof.ObserveMigration(refHash(ref))
+	}
+	s.flight.Record(flight.Event{Kind: flight.KindMigrationOut, Actor: ref.String(), Peer: string(to)})
 	return nil
 }
 
@@ -268,7 +273,7 @@ func (s *System) handleMigratePut(payload []byte) ([]byte, error) {
 		}
 	}
 	sh.activations[ref] = &activation{
-		ref: ref, actor: inst, installID: p.ID, epoch: p.Epoch,
+		ref: ref, refH: h, actor: inst, installID: p.ID, epoch: p.Epoch,
 		durable: s.isDurable(inst), snapSeq: p.SnapSeq, lastSnap: time.Now(),
 	}
 	s.cacheInsertLocked(sh, ref, s.Node())
@@ -278,6 +283,10 @@ func (s *System) handleMigratePut(payload []byte) ([]byte, error) {
 	delete(sh.forwards, ref)
 	sh.mu.Unlock()
 	s.migrationsIn.Add(1)
+	if s.prof != nil {
+		s.prof.ObserveMigration(h)
+	}
+	s.flight.Record(flight.Event{Kind: flight.KindMigrationIn, Actor: ref.String(), N: p.Epoch})
 	return codec.Marshal(ctlPlacementOK)
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"actop/internal/flight"
 	"actop/internal/metrics"
 	"actop/internal/transport"
 )
@@ -267,6 +268,7 @@ func (s *System) recordForward(ref Ref, to transport.NodeID) {
 	s.cacheInsertLocked(sh, ref, to)
 	sh.vertexRefs[h] = ref
 	sh.mu.Unlock()
+	s.flight.Record(flight.Event{Kind: flight.KindTombstone, Actor: ref.String(), Peer: string(to)})
 }
 
 // cachePut records ref's route and its vertex mapping (used by migration

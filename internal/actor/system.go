@@ -13,7 +13,9 @@ import (
 
 	"actop/internal/codec"
 	"actop/internal/durable"
+	"actop/internal/flight"
 	"actop/internal/graph"
+	"actop/internal/hotspot"
 	"actop/internal/metrics"
 	"actop/internal/partition"
 	"actop/internal/seda"
@@ -54,6 +56,7 @@ const (
 	ctlTraces      = "actop.traces"
 	ctlSnap        = "actop.snap"
 	ctlSnapGet     = "actop.snapget"
+	ctlHotspots    = "actop.hotspots"
 	ctlPlacementOK = "ok"
 )
 
@@ -164,6 +167,14 @@ type System struct {
 	callComp *metrics.SummaryFamily
 	srvDur   *metrics.SummaryFamily
 
+	// Observability plane (obs.go): the per-actor hot-spot profiler (nil
+	// when disabled — one pointer check per drain batch), the always-on
+	// flight recorder, and the SLO watcher's rolling latency window (nil
+	// unless SLOTarget is set).
+	prof    *hotspot.Profiler
+	flight  *flight.Recorder
+	sloWin  *metrics.ConcurrentHistogram
+
 	// Counters (atomic; exported via Stats).
 	callsLocal, callsRemote, migrationsIn, migrationsOut, redirects atomic.Uint64
 }
@@ -191,6 +202,13 @@ func NewSystem(cfg Config) (*System, error) {
 		// behalf of peers even if none of its own types are durable.
 		snapStore: durable.NewStore(),
 	}
+	s.flight = flight.NewRecorder(cfg.FlightRingSize, cfg.FlightDebounce)
+	if !cfg.DisableHotspots {
+		s.prof = hotspot.New(cfg.HotspotK)
+	}
+	if cfg.SLOTarget > 0 {
+		s.sloWin = &metrics.ConcurrentHistogram{}
+	}
 	if cfg.DurableReplicas > 0 {
 		s.snapPool = durable.NewPool(cfg.SnapshotWorkers, 1024)
 		s.recoverySem = make(chan struct{}, cfg.RecoveryConcurrency)
@@ -206,6 +224,7 @@ func NewSystem(cfg Config) (*System, error) {
 		s.srvDur = cfg.Metrics.Summary("actop_served_call_duration_seconds",
 			"inbound call latency by method, receive to reply enqueue (callee side)", "method")
 		s.registerShardMetrics()
+		s.registerObsMetrics()
 	}
 	for _, p := range peers {
 		if p != s.Node() {
@@ -226,6 +245,13 @@ func NewSystem(cfg Config) (*System, error) {
 		go func() {
 			defer s.bg.Done()
 			s.heartbeatLoop()
+		}()
+	}
+	if s.prof != nil || s.sloWin != nil {
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			s.obsLoop()
 		}()
 	}
 	return s, nil
@@ -375,7 +401,7 @@ func (s *System) call(from *Ref, parent *traceCtx, to Ref, method string, args, 
 		tctx = &traceCtx{traceID: s.sampler.ID()}
 	}
 	var start time.Time
-	if tctx != nil || s.callDur != nil {
+	if tctx != nil || s.callDur != nil || s.sloWin != nil {
 		start = time.Now()
 	}
 	var sp *trace.Span
@@ -389,6 +415,9 @@ func (s *System) call(from *Ref, parent *traceCtx, to Ref, method string, args, 
 	// Zero-copy local fast path: no serialization when the callee is
 	// co-located and both sides opt in (ValueReceiver + codec.Copier).
 	if handled, err := s.callLocalValue(sp, to, method, args, reply); handled {
+		if s.prof != nil && from != nil {
+			s.prof.ObserveOut(refHash(*from), 1, 0) // value call: no wire bytes
+		}
 		s.finishCall(sp, start, method, err)
 		return err
 	}
@@ -406,6 +435,9 @@ func (s *System) call(from *Ref, parent *traceCtx, to Ref, method string, args, 
 		if sp != nil {
 			sp.Serialize = time.Since(ms)
 		}
+	}
+	if s.prof != nil && from != nil {
+		s.prof.ObserveOut(refHash(*from), 1, uint64(len(data)))
 	}
 	result, err, recyclable := s.dispatchRetry(to, method, data, sp)
 	if data != nil && recyclable {
@@ -1445,6 +1477,12 @@ func (s *System) handleControlVerb(verb string, payload []byte, from transport.N
 			return nil, err
 		}
 		return codec.Marshal(s.spans.ForTrace(traceID))
+	case ctlHotspots:
+		var n int
+		if err := codec.Unmarshal(payload, &n); err != nil {
+			return nil, err
+		}
+		return codec.Marshal(s.LocalHotspots(n))
 	case ctlPing:
 		var sender string
 		if err := codec.Unmarshal(payload, &sender); err != nil {

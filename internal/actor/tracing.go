@@ -48,12 +48,24 @@ func (t *turnTiming) ctx() *traceCtx {
 // client span's components always sum to its total (clamped at zero when
 // retries make the last attempt cheaper than the whole call).
 func (s *System) finishCall(sp *trace.Span, start time.Time, method string, err error) {
-	if sp == nil && s.callDur == nil {
+	if sp == nil && s.callDur == nil && s.sloWin == nil {
 		return
 	}
 	total := time.Since(start)
+	if s.sloWin != nil {
+		// SLO watcher window: the obs loop snapshots and resets this on
+		// every check tick (obs.go), so it always holds roughly the last
+		// second of call latency.
+		s.sloWin.Record(total)
+	}
 	if s.callDur != nil {
-		s.callDur.Observe(total, method)
+		if sp != nil {
+			// Traced call: offer its trace id as a tail-latency exemplar so
+			// a p99 spike on the scrape page links to a full span tree.
+			s.callDur.ObserveExemplar(total, sp.TraceID, method)
+		} else {
+			s.callDur.Observe(total, method)
+		}
 	}
 	if sp == nil {
 		return

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"actop/internal/estimator"
+	"actop/internal/flight"
 	"actop/internal/metrics"
 	"actop/internal/queuing"
 	"actop/internal/seda"
@@ -45,6 +46,10 @@ type ControllerConfig struct {
 	// smoothed rates, utilization, window wait/busy quantiles) refreshed on
 	// every tick. Nil publishes nothing.
 	Metrics *metrics.Registry
+	// Flight, when set, receives a thread_resize event for every SetWorkers
+	// the controller installs — so an anomaly dump shows the allocation
+	// moves around the incident. Nil (or a nil recorder) records nothing.
+	Flight *flight.Recorder
 }
 
 func (c *ControllerConfig) fill(nStages int) error {
@@ -384,6 +389,11 @@ func (c *ThreadController) Tick() TickOutcome {
 	for i, st := range c.stages {
 		if target[i] != current[i] {
 			st.SetWorkers(target[i])
+			c.cfg.Flight.Record(flight.Event{
+				Kind:   flight.KindThreadResize,
+				Detail: fmt.Sprintf("%s %d->%d", stats[i].Name, current[i], target[i]),
+				N:      uint64(target[i]),
+			})
 		}
 	}
 	c.status.Applied = target

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"actop/internal/actor"
+	"actop/internal/flight"
 	"actop/internal/metrics"
 	"actop/internal/partition"
 	"actop/internal/seda"
@@ -70,6 +71,10 @@ type Options struct {
 	// Metrics, when set, receives the thread controller's per-stage gauges
 	// (see ControllerConfig.Metrics). Nil publishes nothing.
 	Metrics *metrics.Registry
+	// Flight, when set, receives thread_resize flight events from the
+	// controller (see ControllerConfig.Flight). Usually the node's own
+	// recorder, sys.FlightRecorder().
+	Flight *flight.Recorder
 }
 
 // DefaultOptions enables both mechanisms with the paper's cadences.
@@ -149,6 +154,7 @@ func NewOptimizer(sys *actor.System, opts Options) *Optimizer {
 			Hysteresis: opts.Hysteresis,
 			MaxWorkers: opts.MaxStageWorkers,
 			Metrics:    opts.Metrics,
+			Flight:     opts.Flight,
 		})
 	if err != nil {
 		// Unreachable with the clamped options above; fall back to a

@@ -1,0 +1,121 @@
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWraparound(t *testing.T) {
+	r := NewRecorder(64, time.Minute)
+	for i := 0; i < 200; i++ {
+		r.Record(Event{Kind: KindMembership, Detail: fmt.Sprint(i)})
+	}
+	if r.Recorded() != 200 {
+		t.Fatalf("Recorded = %d", r.Recorded())
+	}
+	if r.Overwritten() != 200-64 {
+		t.Fatalf("Overwritten = %d, want %d", r.Overwritten(), 200-64)
+	}
+	evs := r.Snapshot(0)
+	if len(evs) != 64 {
+		t.Fatalf("snapshot holds %d events, want 64", len(evs))
+	}
+	// Newest first, and only the newest 64 survive the wrap.
+	if evs[0].Seq != 200 || evs[len(evs)-1].Seq != 200-64+1 {
+		t.Fatalf("snapshot seq range [%d, %d]", evs[len(evs)-1].Seq, evs[0].Seq)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq >= evs[i-1].Seq {
+			t.Fatalf("not newest-first at %d", i)
+		}
+	}
+	if got := r.Snapshot(10); len(got) != 10 || got[0].Seq != 200 {
+		t.Fatalf("limited snapshot wrong: len=%d", len(got))
+	}
+}
+
+// TestConcurrentAppendDump races appenders against trigger-dumps and
+// snapshot readers — the -race coverage the ring's atomics must survive.
+func TestConcurrentAppendDump(t *testing.T) {
+	r := NewRecorder(128, 0) // zero debounce: every trigger dumps
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(Event{Kind: KindMigrationOut, Actor: fmt.Sprintf("a/%d-%d", g, i)})
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Trigger(KindPanic, "test")
+				r.Snapshot(16)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Recorded() < 4000 {
+		t.Fatalf("Recorded = %d", r.Recorded())
+	}
+	if got := len(r.Dumps()); got > maxDumps {
+		t.Fatalf("retained %d dumps, cap %d", got, maxDumps)
+	}
+	if r.DumpsTaken() != 100 {
+		t.Fatalf("DumpsTaken = %d, want 100 (zero debounce)", r.DumpsTaken())
+	}
+}
+
+func TestTriggerDebounce(t *testing.T) {
+	r := NewRecorder(64, time.Hour)
+	if !r.Trigger(KindSLOBreach, "p99") {
+		t.Fatal("first trigger should dump")
+	}
+	for i := 0; i < 10; i++ {
+		if r.Trigger(KindSLOBreach, "p99") {
+			t.Fatal("debounced trigger dumped")
+		}
+	}
+	// A different kind has its own debounce clock.
+	if !r.Trigger(KindPeerDead, "node-b") {
+		t.Fatal("distinct kind should dump")
+	}
+	if r.DumpsTaken() != 2 || r.Suppressed() != 10 {
+		t.Fatalf("dumps=%d suppressed=%d", r.DumpsTaken(), r.Suppressed())
+	}
+	d := r.Dumps()
+	if len(d) != 2 || d[0].Trigger != KindSLOBreach || d[1].Trigger != KindPeerDead {
+		t.Fatalf("dumps wrong: %+v", d)
+	}
+	// Every dump carries runtime context and the trigger's own event.
+	if d[0].Runtime.Goroutines == 0 || d[0].Runtime.GOMAXPROCS == 0 {
+		t.Fatalf("runtime context missing: %+v", d[0].Runtime)
+	}
+	if len(d[0].Events) == 0 || d[0].Events[len(d[0].Events)-1].Kind != KindSLOBreach {
+		t.Fatalf("dump events missing trigger event: %+v", d[0].Events)
+	}
+	// Dump events are chronological (oldest first).
+	for i := 1; i < len(d[1].Events); i++ {
+		if d[1].Events[i].Seq <= d[1].Events[i-1].Seq {
+			t.Fatal("dump events not chronological")
+		}
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindThreadResize})
+	if r.Trigger(KindPanic, "x") {
+		t.Fatal("nil recorder dumped")
+	}
+	if r.Snapshot(0) != nil || r.Dumps() != nil || r.Recorded() != 0 ||
+		r.Overwritten() != 0 || r.Cap() != 0 || r.DumpsTaken() != 0 || r.Suppressed() != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+}

@@ -23,7 +23,7 @@ var MetricLabel = &Analyzer{
 // that accept trailing label values, with the index of the first label
 // argument.
 var metricFamilies = map[string]map[string]int{
-	"SummaryFamily": {"With": 0, "Observe": 1},
+	"SummaryFamily": {"With": 0, "Observe": 1, "ObserveExemplar": 2},
 	"GaugeFamily":   {"Set": 1},
 	"CounterFamily": {"Add": 1, "SetTotal": 1},
 }
@@ -33,6 +33,7 @@ var metricFamilies = map[string]map[string]int{
 var identityishNames = map[string]bool{
 	"key": true, "id": true, "uid": true, "guid": true,
 	"actorid": true, "addr": true, "address": true, "host": true,
+	"actor": true, "ref": true, "peer": true,
 }
 
 func runMetricLabel(pass *Pass) error {

@@ -46,3 +46,23 @@ func recordField(d time.Duration, c call) {
 func spread(d time.Duration, labels []string) {
 	dur.Observe(d, labels...)
 }
+
+// rankLabels mirrors the observability plane's pre-rendered bounded-label
+// tables: an index into a fixed array is bounded by the array.
+var rankLabels = [3]string{"1", "2", "3"}
+
+func recordObs(d time.Duration, traceID uint64, actor, peer string, i int) {
+	dur.ObserveExemplar(d, traceID, "join")        // near miss: label after the trace id is a literal
+	dur.ObserveExemplar(d, traceID, rankLabels[i]) // near miss: fixed-table lookup
+
+	dur.ObserveExemplar(d, traceID, actor)           // want `looks per-entity \(actor\)`
+	gauge.Set(float64(i), peer)                      // want `looks per-entity \(peer\)`
+	gauge.Set(float64(i), fmt.Sprintf("rank-%d", i)) // want `built at the call site by fmt\.Sprintf`
+}
+
+type hotEntry struct{ Actor, Ref string }
+
+func recordHotEntry(d time.Duration, e hotEntry) {
+	dur.Observe(d, e.Actor) // want `looks per-entity \(\.Actor\)`
+	counts.Add(1, e.Ref)    // want `looks per-entity \(\.Ref\)`
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Tail-latency exemplars: each summary series keeps one sampled trace id
+// per latency decade, so a p99 spike on the scrape page links directly to
+// a concrete span tree (/debug/actop/traces?trace=<id>). Storage is a
+// handful of atomic pointer slots per series — traced observations race
+// to publish, untraced observations never touch them.
+
+// Exemplar is one sampled observation pinned to a latency bucket.
+type Exemplar struct {
+	TraceID uint64
+	Value   float64 // seconds
+	At      time.Time
+}
+
+// exemplarSlots partitions observations into latency decades:
+// <1ms, <10ms, <100ms, >=100ms.
+const exemplarSlots = 4
+
+// exemplarBuckets names each slot's upper bound in the rendered output
+// (Prometheus `le` convention).
+var exemplarBuckets = [exemplarSlots]string{"0.001", "0.01", "0.1", "+Inf"}
+
+// exemplarTTL is the staleness horizon: a slower exemplar normally wins
+// its slot, but anything older than this loses to fresh traffic so the
+// page reflects the current regime, not one spike from an hour ago.
+const exemplarTTL = time.Minute
+
+type exemplarSet [exemplarSlots]atomic.Pointer[Exemplar]
+
+func exemplarSlot(d time.Duration) int {
+	switch {
+	case d < time.Millisecond:
+		return 0
+	case d < 10*time.Millisecond:
+		return 1
+	case d < 100*time.Millisecond:
+		return 2
+	}
+	return 3
+}
+
+// offer publishes a traced observation into its decade slot if it is the
+// first, the slowest so far, or the incumbent has gone stale. Lost races
+// are acceptable — any traced observation is a valid exemplar.
+func (s *exemplarSet) offer(d time.Duration, traceID uint64) {
+	if traceID == 0 {
+		return
+	}
+	i := exemplarSlot(d)
+	v := d.Seconds()
+	now := time.Now()
+	cur := s[i].Load()
+	if cur != nil && v < cur.Value && now.Sub(cur.At) < exemplarTTL {
+		return
+	}
+	s[i].Store(&Exemplar{TraceID: traceID, Value: v, At: now})
+}
+
+// snapshot returns the populated exemplars, slowest-decade last.
+func (s *exemplarSet) snapshot() []Exemplar {
+	var out []Exemplar
+	for i := range s {
+		if e := s[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// ObserveExemplar records one duration like Observe and, when traceID is
+// non-zero (a traced call), offers it as a tail-latency exemplar for its
+// latency decade.
+func (f *SummaryFamily) ObserveExemplar(d time.Duration, traceID uint64, values ...string) {
+	key := seriesKey(values)
+	s, ok := f.series.Load(key)
+	if !ok {
+		s, _ = f.series.LoadOrStore(key, &summarySeries{values: append([]string(nil), values...)})
+	}
+	ss := s.(*summarySeries)
+	ss.hist.Record(d)
+	ss.ex.offer(d, traceID)
+}
+
+// Exemplars reports the stored exemplars for one label combination
+// (nil when the series has none) — for debug endpoints and tools.
+func (f *SummaryFamily) Exemplars(values ...string) []Exemplar {
+	s, ok := f.series.Load(seriesKey(values))
+	if !ok {
+		return nil
+	}
+	return s.(*summarySeries).ex.snapshot()
+}
+
+// writeExemplars renders a series' exemplars as comment lines after its
+// sample lines. Plain text-format scrapers skip comments, so the lines are
+// free to carry the trace link a human (or actop-top) follows:
+//
+//	# EXEMPLAR actop_call_duration_seconds{method="Put",le="0.1"} trace_id=4f1a... value=0.042
+func (f *SummaryFamily) writeExemplars(w io.Writer, s *summarySeries) {
+	for i := range s.ex {
+		e := s.ex[i].Load()
+		if e == nil {
+			continue
+		}
+		fmt.Fprintf(w, "# EXEMPLAR %s%s trace_id=%016x value=%s\n", f.name,
+			renderLabels(f.labels, s.values, "le", exemplarBuckets[i]),
+			e.TraceID, trimFloat(e.Value))
+	}
+}

@@ -174,6 +174,9 @@ type SummaryFamily struct {
 type summarySeries struct {
 	values []string
 	hist   ConcurrentHistogram
+	// ex holds per-latency-decade tail exemplars (exemplar.go): sampled
+	// trace ids linking slow observations to their span trees.
+	ex exemplarSet
 }
 
 // With returns the histogram for one label-value combination, creating it
@@ -223,6 +226,7 @@ func (f *SummaryFamily) write(w io.Writer) {
 			trimFloat(float64(h.Mean())*float64(h.Count())/1e9))
 		fmt.Fprintf(w, "%s_count%s %d\n", f.name,
 			renderLabels(f.labels, r.s.values, "", ""), h.Count())
+		f.writeExemplars(w, r.s)
 	}
 }
 

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"runtime"
+	rtmetrics "runtime/metrics"
+)
+
+// RegisterRuntimeGauges exposes Go runtime health on the registry via an
+// OnCollect hook: goroutine count, heap bytes, GC pause p99, and
+// GOMAXPROCS. Refreshing at scrape time keeps the cost off every other
+// path (ReadMemStats stops the world briefly — once per scrape, never per
+// call).
+func RegisterRuntimeGauges(r *Registry) {
+	goroutines := r.Gauge("actop_go_goroutines",
+		"live goroutines in this process")
+	heap := r.Gauge("actop_go_heap_bytes",
+		"bytes of allocated heap objects")
+	gcPause := r.Gauge("actop_go_gc_pause_p99_seconds",
+		"99th percentile GC stop-the-world pause since process start")
+	maxprocs := r.Gauge("actop_go_gomaxprocs",
+		"GOMAXPROCS the scheduler is running with")
+	gcCycles := r.Counter("actop_go_gc_cycles_total",
+		"completed GC cycles")
+	sample := []rtmetrics.Sample{{Name: "/gc/pauses:seconds"}}
+	r.OnCollect(func(*Registry) {
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		maxprocs.Set(float64(runtime.GOMAXPROCS(0)))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap.Set(float64(ms.HeapAlloc))
+		gcCycles.SetTotal(uint64(ms.NumGC))
+		rtmetrics.Read(sample)
+		if sample[0].Value.Kind() == rtmetrics.KindFloat64Histogram {
+			gcPause.Set(histQuantile(sample[0].Value.Float64Histogram(), 0.99))
+		}
+	})
+}
+
+// histQuantile extracts a quantile from a runtime/metrics histogram
+// (cumulative counts per bucket; the returned value is the upper bound of
+// the bucket holding the quantile's observation).
+func histQuantile(h *rtmetrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	idx := len(h.Counts) - 1
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			idx = i
+			break
+		}
+	}
+	// Buckets[i+1] is bucket i's upper bound; the last bucket's bound can
+	// be +Inf, in which case its lower bound is the honest answer.
+	ub := h.Buckets[idx+1]
+	if ub > 1e18 || ub != ub { // +Inf or NaN guard
+		ub = h.Buckets[idx]
+	}
+	return ub
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeGauges(r)
+	runtime.GC() // ensure at least one cycle and a pause sample exist
+	var b strings.Builder
+	r.Write(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE actop_go_goroutines gauge",
+		"actop_go_heap_bytes",
+		"actop_go_gc_pause_p99_seconds",
+		"actop_go_gomaxprocs",
+		"actop_go_gc_cycles_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "actop_go_goroutines 0\n") {
+		t.Error("goroutine gauge reads zero")
+	}
+	if strings.Contains(out, "actop_go_gomaxprocs 0\n") {
+		t.Error("gomaxprocs gauge reads zero")
+	}
+}
+
+func TestExemplars(t *testing.T) {
+	r := NewRegistry()
+	dur := r.Summary("call_seconds", "test", "method")
+	// Untraced observation: recorded, no exemplar.
+	dur.ObserveExemplar(2*time.Millisecond, 0, "Get")
+	if ex := dur.Exemplars("Get"); len(ex) != 0 {
+		t.Fatalf("untraced observation stored an exemplar: %+v", ex)
+	}
+	// Traced observations land one exemplar per latency decade.
+	dur.ObserveExemplar(200*time.Microsecond, 0xaaa, "Get")
+	dur.ObserveExemplar(2*time.Millisecond, 0xbbb, "Get")
+	dur.ObserveExemplar(20*time.Millisecond, 0xccc, "Get")
+	dur.ObserveExemplar(200*time.Millisecond, 0xddd, "Get")
+	ex := dur.Exemplars("Get")
+	if len(ex) != 4 {
+		t.Fatalf("want 4 exemplars, got %+v", ex)
+	}
+	if ex[3].TraceID != 0xddd {
+		t.Fatalf("slowest decade exemplar = %+v", ex[3])
+	}
+	// A slower traced call replaces its decade's incumbent; a faster fresh
+	// one does not.
+	dur.ObserveExemplar(90*time.Millisecond, 0xeee, "Get")
+	dur.ObserveExemplar(11*time.Millisecond, 0xfff, "Get")
+	if got := dur.Exemplars("Get")[2].TraceID; got != 0xeee {
+		t.Fatalf("decade exemplar = %x, want eee", got)
+	}
+
+	var b strings.Builder
+	r.Write(&b)
+	out := b.String()
+	if !strings.Contains(out, `# EXEMPLAR call_seconds{method="Get",le="+Inf"} trace_id=0000000000000ddd`) {
+		t.Errorf("exemplar line missing:\n%s", out)
+	}
+	// Exemplar lines are comments: every non-comment line must still be a
+	// plain name{labels} value sample.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# EXEMPLAR") && !strings.Contains(line, "trace_id=") {
+			t.Errorf("malformed exemplar line: %s", line)
+		}
+	}
+	// The histogram still counted every observation (6 traced + 1 untraced).
+	if n := dur.With("Get").Count(); n != 7 {
+		t.Fatalf("count = %d, want 7", n)
+	}
+}

@@ -34,6 +34,16 @@ func (r *Ring) Put(sp *Span) {
 // ones).
 func (r *Ring) Recorded() uint64 { return r.cursor.Load() }
 
+// Overwritten reports how many spans have been lost to ring wraparound —
+// exported so trace coverage is itself observable (a span missing from a
+// tree might simply have been overwritten).
+func (r *Ring) Overwritten() uint64 {
+	if n := r.cursor.Load(); n > uint64(len(r.slots)) {
+		return n - uint64(len(r.slots))
+	}
+	return 0
+}
+
 // Snapshot returns up to limit of the most recent spans, newest first
 // (limit <= 0 means the whole ring). Under concurrent writes a slot may be
 // observed mid-overwrite with a newer span than its position implies; the

@@ -9,6 +9,10 @@ import "sync/atomic"
 type Sampler struct {
 	threshold uint64 // rate scaled to [0, 2^32]
 	state     atomic.Uint64
+	// Decision counters, maintained only when sampling is on — the
+	// zero-rate fast path stays a single branch with no atomics.
+	accepted atomic.Uint64
+	rejected atomic.Uint64
 }
 
 // NewSampler returns a sampler that samples approximately the given
@@ -32,8 +36,21 @@ func (s *Sampler) Sample() bool {
 	if s.threshold == 0 {
 		return false
 	}
-	return uint64(uint32(mix(s.state.Add(0x9e3779b97f4a7c15)))) < s.threshold
+	if uint64(uint32(mix(s.state.Add(0x9e3779b97f4a7c15)))) < s.threshold {
+		s.accepted.Add(1)
+		return true
+	}
+	s.rejected.Add(1)
+	return false
 }
+
+// Accepted reports the lifetime count of sampling decisions that chose to
+// trace (always zero with sampling off — disabled calls are not counted,
+// keeping the off path atomics-free).
+func (s *Sampler) Accepted() uint64 { return s.accepted.Load() }
+
+// Rejected reports the lifetime count of decisions that declined to trace.
+func (s *Sampler) Rejected() uint64 { return s.rejected.Load() }
 
 // ID draws a non-zero pseudo-random 64-bit id (trace and span ids).
 func (s *Sampler) ID() uint64 {
