@@ -5,7 +5,7 @@
 GO ?= go
 LINT_BIN := bin/actop-lint
 
-.PHONY: check build test vet staticcheck lint race fuzz-smoke bench-msgplane cluster-smoke bench-scale workloads-smoke bench-workloads chaos-smoke bench-recovery obs-smoke
+.PHONY: check build test vet staticcheck lint lint-cold lint-cache-check race fuzz-smoke bench-msgplane cluster-smoke bench-scale workloads-smoke bench-workloads chaos-smoke bench-recovery obs-smoke
 
 # check is the pre-PR gate: vet (+ staticcheck when installed), the
 # domain lint suite, build everything, race-test the concurrency-heavy
@@ -17,12 +17,42 @@ LINT_BIN := bin/actop-lint
 # hot-actor ranking + SLO-breach flight dump).
 check: vet staticcheck lint build race test fuzz-smoke cluster-smoke workloads-smoke chaos-smoke obs-smoke
 
-# lint builds the domain-specific analyzer suite once into bin/ (so
-# repeated runs reuse the Go build cache and the binary) and runs it over
-# the whole module. See DESIGN.md "Static analysis" for what it enforces.
+# lint builds the whole-program analyzer suite once into bin/ and runs
+# it over the module with the per-package result cache under
+# bin/.lintcache: packages whose sources and dependency export data are
+# unchanged restore their findings and facts from disk instead of being
+# re-type-checked. -time prints the per-analyzer wall-time split and the
+# cache hit/miss counts. See DESIGN.md "Static analysis".
 lint:
 	$(GO) build -o $(LINT_BIN) ./cmd/actop-lint
-	./$(LINT_BIN) ./...
+	./$(LINT_BIN) -cache bin/.lintcache -time ./...
+
+# lint-cold ignores any existing cache (fresh cache dir each run) — the
+# baseline CI compares the warm run against.
+lint-cold:
+	$(GO) build -o $(LINT_BIN) ./cmd/actop-lint
+	rm -rf bin/.lintcache-cold
+	./$(LINT_BIN) -cache bin/.lintcache-cold -time ./...
+
+# lint-cache-check asserts the cache actually pays: a cold run populates
+# a fresh cache, then a warm re-run over the identical tree must finish
+# at least 2x faster. Timing uses millisecond wall clock via date.
+lint-cache-check:
+	$(GO) build -o $(LINT_BIN) ./cmd/actop-lint
+	rm -rf bin/.lintcache-ci
+	@cold_start=$$(date +%s%N); \
+	./$(LINT_BIN) -cache bin/.lintcache-ci ./... || exit $$?; \
+	cold_end=$$(date +%s%N); \
+	warm_start=$$(date +%s%N); \
+	./$(LINT_BIN) -cache bin/.lintcache-ci ./... || exit $$?; \
+	warm_end=$$(date +%s%N); \
+	cold_ms=$$(( (cold_end - cold_start) / 1000000 )); \
+	warm_ms=$$(( (warm_end - warm_start) / 1000000 )); \
+	echo "lint cold: $${cold_ms}ms  warm: $${warm_ms}ms"; \
+	if [ $$(( warm_ms * 2 )) -gt $$cold_ms ]; then \
+		echo "lint cache check FAILED: warm run ($${warm_ms}ms) is not >=2x faster than cold ($${cold_ms}ms)"; \
+		exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

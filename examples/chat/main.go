@@ -42,10 +42,10 @@ func (r *room) Receive(ctx *actor.Context, method string, args []byte) ([]byte, 
 		}
 		for _, m := range r.Members {
 			if m == p.From {
-				// Never call back into the poster: its mailbox is blocked
-				// inside Say → Post, and a reentrant Deliver would deadlock
-				// the turn (the same hazard exists in Orleans without
-				// reentrant grains).
+				// No self-echo. Fanout only ever flows room → user: posts
+				// enter the room from outside a turn, so the kind graph
+				// stays a DAG and no pair of activations can await each
+				// other (the ctlStage livelock shape calldag rejects).
 				continue
 			}
 			if err := ctx.Call(actor.Ref{Type: "user", Key: m}, "Deliver", p, nil); err != nil {
@@ -60,7 +60,11 @@ func (r *room) Receive(ctx *actor.Context, method string, args []byte) ([]byte, 
 func (r *room) Snapshot() ([]byte, error) { return codec.Marshal(r.Members) }
 func (r *room) Restore(b []byte) error    { return codec.Unmarshal(b, &r.Members) }
 
-// user stores an inbox and posts through its room.
+// user stores an inbox of delivered posts. Users deliberately have no
+// "post through me" method: a user turn that synchronously called its
+// room while the room fans out Deliver calls to users would close the
+// room ↔ user call cycle, and two in-flight posts could then hold their
+// activations while awaiting each other. Clients post to rooms directly.
 type user struct{ Inbox int }
 
 func (u *user) Receive(ctx *actor.Context, method string, args []byte) ([]byte, error) {
@@ -68,18 +72,6 @@ func (u *user) Receive(ctx *actor.Context, method string, args []byte) ([]byte, 
 	case "Deliver":
 		u.Inbox++
 		return nil, nil
-	case "Say":
-		var req struct {
-			Room string
-			Text string
-		}
-		if err := codec.Unmarshal(args, &req); err != nil {
-			return nil, err
-		}
-		var fanout int
-		err := ctx.Call(actor.Ref{Type: "room", Key: req.Room}, "Post",
-			post{From: ctx.Self().Key, Text: req.Text}, &fanout)
-		return nil, err
 	}
 	return nil, fmt.Errorf("user: unknown method %q", method)
 }
@@ -144,17 +136,17 @@ func main() {
 		return float64(remote) / float64(local+remote)
 	}
 
-	// Chat traffic: each user posts; the room fans out.
+	// Chat traffic: each user's client posts to the room, which fans out
+	// Deliver calls to the other members. Room → user is the only
+	// actor-to-actor edge, so the kind-level call graph is a DAG.
 	say := func(rounds int) {
 		for i := 0; i < rounds; i++ {
 			for r := 0; r < rooms; r++ {
+				roomRef := actor.Ref{Type: "room", Key: fmt.Sprintf("room-%d", r)}
 				for u := 0; u < usersPerRoom; u++ {
-					ref := actor.Ref{Type: "user", Key: fmt.Sprintf("user-%d-%d", r, u)}
-					arg := struct {
-						Room string
-						Text string
-					}{Room: fmt.Sprintf("room-%d", r), Text: "hi"}
-					if err := systems[r%nodes].Call(ref, "Say", arg, nil); err != nil {
+					p := post{From: fmt.Sprintf("user-%d-%d", r, u), Text: "hi"}
+					var fanout int
+					if err := systems[r%nodes].Call(roomRef, "Post", p, &fanout); err != nil {
 						log.Fatal(err)
 					}
 				}

@@ -1,20 +1,31 @@
-// Package lint is actop's domain-specific static-analysis suite: six
+// Package lint is actop's domain-specific static-analysis suite: ten
 // analyzers that enforce runtime invariants generic tooling (vet,
 // staticcheck) cannot see — "never block inside an actor turn", "the DES
 // stays deterministic", "no I/O while a mutex is held", "pooled buffers
 // don't outlive their release", "metric labels stay low-cardinality",
-// "no encode or I/O on the turn-locked snapshot-capture path".
+// "no encode or I/O on the turn-locked snapshot-capture path", "the
+// actor-kind call graph is a DAG", "no mixed atomic/plain field access",
+// "no goroutine Stop cannot terminate", "wire errors are classified
+// with errors.Is, never compared by identity".
 // Each invariant here was first paid for as a runtime bug found by the
 // chaos/race batteries of earlier PRs; the analyzers move those classes
 // of failure to compile time.
 //
+// The suite is whole-program: packages are analyzed in dependency order
+// and exchange serializable facts (see facts.go), so a helper in
+// internal/codec that blocks is visible from a Receive body in
+// internal/actor, and properties no package can see alone (a
+// synchronous call cycle between two sibling packages that never import
+// each other) are checked in a Finish pass over the complete fact
+// store.
+//
 // The API deliberately mirrors golang.org/x/tools/go/analysis
-// (Analyzer, Pass, Diagnostic) so the suite could be ported onto the
-// upstream framework verbatim. It is implemented on the standard library
-// alone — go/ast, go/types, and `go list -export` for dependency export
-// data — because this module carries no third-party dependencies, not
-// even for tooling (see the Makefile header and DESIGN.md "Static
-// analysis").
+// (Analyzer, Pass, Diagnostic, facts) so the suite could be ported onto
+// the upstream framework verbatim. It is implemented on the standard
+// library alone — go/ast, go/types, and `go list -export` for
+// dependency export data — because this module carries no third-party
+// dependencies, not even for tooling (see the Makefile header and
+// DESIGN.md "Static analysis").
 //
 // Suppression: a comment of the form
 //
@@ -35,8 +46,9 @@ import (
 )
 
 // An Analyzer describes one invariant check. The shape matches
-// x/tools/go/analysis.Analyzer minus the Requires/Facts machinery, which
-// these intraprocedural (at most intra-package) checks do not need.
+// x/tools/go/analysis.Analyzer, including the fact machinery; Finish is
+// the one extension (x/tools has no program-wide hook because its unit
+// of work is a package — ours is the module).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //actoplint:ignore directives. Lower-case, no spaces.
@@ -50,8 +62,19 @@ type Analyzer struct {
 	Match func(pkgPath string) bool
 
 	// Run performs the check on one type-checked package, reporting
-	// findings through pass.Reportf.
+	// findings through pass.Reportf and exporting facts for importing
+	// packages through pass.ExportObjectFact/ExportPackageFact.
 	Run func(pass *Pass) error
+
+	// FactTypes lists a prototype of every fact type Run exports, so
+	// the cache knows how to deserialize them. An analyzer that exports
+	// an unlisted fact type will not see it survive a cached run.
+	FactTypes []Fact
+
+	// Finish, when non-nil, runs once after every package, with the
+	// complete fact store in view — for whole-program properties like
+	// cycles between packages that never import each other.
+	Finish func(pass *FinishPass)
 }
 
 // A Pass hands one type-checked package to one analyzer.
@@ -63,6 +86,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	prog   *Program
 }
 
 // Reportf records a finding at pos.
@@ -119,5 +143,9 @@ func Analyzers() []*Analyzer {
 		PoolEscape,
 		MetricLabel,
 		SnapBlock,
+		CallDag,
+		AtomicMix,
+		GoLeak,
+		ErrIdent,
 	}
 }

@@ -42,6 +42,37 @@ func TestSnapBlock(t *testing.T) {
 	linttest.Run(t, "snapblock/a", lint.SnapBlock)
 }
 
+func TestCallDag(t *testing.T) {
+	linttest.CheckAnalyzer(t, lint.CallDag)
+	// Two sibling packages whose kinds call each other synchronously —
+	// the ctlStage-livelock shape; only the whole-program kind graph
+	// (union of both packages' CallDagFacts) exposes the cycle.
+	linttest.RunMulti(t, []string{"calldag/a", "calldag/b"}, lint.CallDag)
+}
+
+func TestAtomicMix(t *testing.T) {
+	linttest.CheckAnalyzer(t, lint.AtomicMix)
+	linttest.RunMulti(t, []string{"atomicmix/dep", "atomicmix/a"}, lint.AtomicMix)
+}
+
+func TestGoLeak(t *testing.T) {
+	linttest.CheckAnalyzer(t, lint.GoLeak)
+	linttest.RunMulti(t, []string{"goleak/actor/dep", "goleak/actor"}, lint.GoLeak)
+}
+
+func TestErrIdent(t *testing.T) {
+	linttest.CheckAnalyzer(t, lint.ErrIdent)
+	linttest.Run(t, "errident/actor", lint.ErrIdent)
+}
+
+// TestCrossPackageFacts pins the facts plumbing end to end: facts/a
+// exports Blocker/EncodeIO/Retains/DirectIO facts, and every want in
+// facts/b fires only because the importing pass consumed them.
+func TestCrossPackageFacts(t *testing.T) {
+	linttest.RunMulti(t, []string{"facts/a", "facts/b"},
+		lint.TurnBlock, lint.SnapBlock, lint.PoolEscape, lint.LockHeldIO)
+}
+
 // TestSimDetScope pins the Match scoping: the same wall-clock calls that
 // fire inside a /des package must be invisible when the package path is
 // outside the simulation tree.
@@ -71,7 +102,7 @@ func TestSuiteNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 6 {
-		t.Fatalf("expected the 6-analyzer suite, got %d", len(seen))
+	if len(seen) != 10 {
+		t.Fatalf("expected the 10-analyzer suite, got %d", len(seen))
 	}
 }

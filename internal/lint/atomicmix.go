@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix finds fields and package variables that are accessed both
+// through sync/atomic and with plain loads/stores. Mixed access is a
+// data race even when it "works": the plain side tears under the race
+// detector and, on weakly-ordered hardware, in production. The failure
+// membership's markPeerAlive bug (PR 9) was this shape — a health word
+// bumped atomically on the heartbeat path and read plainly on the
+// routing path — and it only surfaced under the chaos battery. The two
+// halves of a mix routinely live in different packages (a counter
+// package exposes an atomic counter; a test or sibling reads it
+// plainly), so the join is a whole-program Finish pass over per-package
+// access facts.
+//
+// Scope: only atomic-eligible words (fixed-size integers and uintptr)
+// declared in module packages are tracked, and only once some package
+// actually touches them through sync/atomic — a plain int field guarded
+// by a mutex never enters the fact store.
+var AtomicMix = &Analyzer{
+	Name:      "atomicmix",
+	Doc:       "a field or package variable touched via sync/atomic must never also be accessed plainly; mixed access is a data race (the markPeerAlive class) — use atomic loads/stores everywhere or a single mutex",
+	Run:       runAtomicMix,
+	FactTypes: []Fact{(*FieldAccessFact)(nil)},
+	Finish:    finishAtomicMix,
+}
+
+// A FieldAccess records one word's access sites from one package. ID is
+// "pkgpath.Type.Field" for fields, "pkgpath..Var" for package
+// variables.
+type FieldAccess struct {
+	ID     string
+	Atomic []Site
+	Plain  []Site
+}
+
+// FieldAccessFact is the package fact: every tracked word this package
+// touches, and how.
+type FieldAccessFact struct {
+	Accesses []FieldAccess
+}
+
+func (*FieldAccessFact) AFact() {}
+
+func runAtomicMix(pass *Pass) error {
+	atomicSites := map[string][]Site{}
+	plainSites := map[string][]Site{}
+	// Nodes consumed by an atomic call (the &x.f argument subtree) are
+	// not plain accesses.
+	consumed := map[ast.Node]bool{}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || funcPkgPath(fn) != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			target := ast.Unparen(addr.X)
+			id, ok := pass.wordID(target)
+			if !ok {
+				return true
+			}
+			consumed[target] = true
+			atomicSites[id] = append(atomicSites[id], siteOf(pass.Fset, target.Pos()))
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			if n == nil || consumed[n] {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				// Declaration names are definitions, not accesses; the
+				// initializer expressions still count.
+				if n.Type != nil {
+					ast.Inspect(n.Type, walk)
+				}
+				for _, v := range n.Values {
+					ast.Inspect(v, walk)
+				}
+				return false
+			case *ast.KeyValueExpr:
+				// Composite-literal keys are field names, not accesses.
+				ast.Inspect(n.Value, walk)
+				return false
+			case *ast.SelectorExpr:
+				if id, ok := pass.wordID(n); ok {
+					plainSites[id] = append(plainSites[id], siteOf(pass.Fset, n.Pos()))
+					ast.Inspect(n.X, walk) // inner selectors may be words too
+					return false
+				}
+			case *ast.Ident:
+				if id, ok := pass.wordID(n); ok {
+					plainSites[id] = append(plainSites[id], siteOf(pass.Fset, n.Pos()))
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+
+	var fact FieldAccessFact
+	ids := map[string]bool{}
+	for id := range atomicSites {
+		ids[id] = true
+	}
+	for id := range plainSites {
+		ids[id] = true
+	}
+	var sorted []string
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Strings(sorted)
+	for _, id := range sorted {
+		fact.Accesses = append(fact.Accesses, FieldAccess{
+			ID: id, Atomic: atomicSites[id], Plain: plainSites[id],
+		})
+	}
+	if len(fact.Accesses) > 0 {
+		pass.ExportPackageFact(&fact)
+	}
+	return nil
+}
+
+// wordID canonicalizes an lvalue as a trackable word: a struct field of
+// a named type declared in a module package, or a package-level
+// variable of one — in both cases of atomic-eligible underlying type.
+func (p *Pass) wordID(expr ast.Expr) (string, bool) {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := p.TypesInfo.Selections[e]
+		if !ok {
+			// Qualified identifier pkg.Var: judge the selected object.
+			return p.wordID(e.Sel)
+		}
+		if sel.Kind() != types.FieldVal {
+			return "", false
+		}
+		v := sel.Obj().(*types.Var)
+		if !atomicEligible(v.Type()) {
+			return "", false
+		}
+		recv := sel.Recv()
+		tn, tp := namedName(recv), namedPkgPath(recv)
+		if tn == "" || !p.inModule(tp) {
+			return "", false
+		}
+		return tp + "." + tn + "." + v.Name(), true
+	case *ast.Ident:
+		v, ok := p.TypesInfo.ObjectOf(e).(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return "", false
+		}
+		if !atomicEligible(v.Type()) || !p.inModule(v.Pkg().Path()) {
+			return "", false
+		}
+		return v.Pkg().Path() + ".." + v.Name(), true
+	}
+	return "", false
+}
+
+// inModule reports whether path is a package under analysis (the only
+// declarations whose access sets we can see completely).
+func (p *Pass) inModule(path string) bool {
+	if p.prog != nil {
+		return p.prog.isTarget(path)
+	}
+	return p.Pkg != nil && path == p.Pkg.Path()
+}
+
+// atomicEligible matches the word types sync/atomic operates on.
+// Typed atomics (atomic.Bool, atomic.Int64, ...) are excluded by
+// construction: their fields are private and every access goes through
+// methods.
+func atomicEligible(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// finishAtomicMix joins access sets across packages and reports every
+// plain site of a word that anyone touches atomically.
+func finishAtomicMix(pass *FinishPass) {
+	atomic := map[string][]Site{}
+	plain := map[string][]Site{}
+	pass.EachPackageFact(&FieldAccessFact{}, func(_ string, f Fact) {
+		for _, a := range f.(*FieldAccessFact).Accesses {
+			atomic[a.ID] = append(atomic[a.ID], a.Atomic...)
+			plain[a.ID] = append(plain[a.ID], a.Plain...)
+		}
+	})
+	var ids []string
+	for id := range plain {
+		if len(atomic[id]) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sites := plain[id]
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].File != sites[j].File {
+				return sites[i].File < sites[j].File
+			}
+			return sites[i].Line < sites[j].Line
+		})
+		first := atomic[id]
+		sort.Slice(first, func(i, j int) bool {
+			if first[i].File != first[j].File {
+				return first[i].File < first[j].File
+			}
+			return first[i].Line < first[j].Line
+		})
+		for _, s := range sites {
+			pass.Reportf(s.Position(),
+				"%s is accessed plainly here but atomically at %s; mixed atomic/plain access is a data race (the markPeerAlive class) — use atomic.Load/Store here too, or guard every access with one mutex", id, first[0])
+		}
+	}
+}

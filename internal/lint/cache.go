@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// The analysis cache makes warm `make lint` runs cheap: each package's
+// raw findings, suppression directives, and exported facts persist on
+// disk under a key that changes exactly when re-analysis could change
+// them. The key folds in:
+//
+//   - a suite fingerprint: cache schema version, Go toolchain version,
+//     the analyzer set (names, docs, fact types), and a content hash of
+//     the running executable — so rebuilding actop-lint with different
+//     analyzer code invalidates everything;
+//   - the package's import path and the bytes of its Go files;
+//   - for each non-stdlib dependency, that dependency's own cache key —
+//     transitive by construction, because a dep's body-only change can
+//     alter its exported facts without altering its export data;
+//   - for each stdlib dependency, only the import path: the stdlib's
+//     interface is pinned by the toolchain version already in the suite
+//     fingerprint, which lets a fully-warm run skip `go list -export`
+//     (locating export data is most of a warm run's wall time).
+//
+// Suppression is deliberately NOT cached: raw findings are stored
+// pre-suppression and directives re-apply globally every run, because
+// stale-directive detection and Finish findings are program-level.
+
+const cacheSchema = "actop-lint-cache-v2"
+
+type savedFact struct {
+	Obj  string // objKey, or "" for a package fact
+	Type string // fact struct name (unique across the suite)
+	Data []byte // gob of the fact struct
+}
+
+// savedDirective mirrors directive with exported fields for gob.
+type savedDirective struct {
+	Name    string
+	Reason  string
+	File    string
+	Line    int
+	OwnLine bool
+	Bad     bool
+	BadMsg  string
+}
+
+type cacheFile struct {
+	Key      string
+	Findings []Finding
+	Dirs     []savedDirective
+	Facts    []savedFact
+}
+
+// cacheEntry is a decoded, key-verified cache file.
+type cacheEntry struct {
+	findings   []Finding
+	directives []directive
+	facts      []savedFact
+	registry   map[string]reflect.Type
+}
+
+type analysisCache struct {
+	dir      string
+	keys     map[string]string // import path -> computed key
+	registry map[string]reflect.Type
+}
+
+// newAnalysisCache computes a key for every non-stdlib listed package up
+// front — go list -deps emits dependencies before dependents, so each
+// package's dependency keys resolve transitively — and ensures the cache
+// directory exists. listed must be the full -deps listing (targets and
+// dependencies), not just the targets, so module-internal dep-only
+// packages still ripple their changes upward.
+func newAnalysisCache(dir string, analyzers []*Analyzer, listed []listPkg) (*analysisCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lint: cache dir: %v", err)
+	}
+	c := &analysisCache{
+		dir:      dir,
+		keys:     make(map[string]string, len(listed)),
+		registry: factRegistry(analyzers),
+	}
+	suite := suiteFingerprint(analyzers)
+	for _, t := range listed {
+		if t.Standard {
+			continue
+		}
+		h := sha256.New()
+		io.WriteString(h, suite)
+		io.WriteString(h, "\x00pkg\x00"+t.ImportPath)
+		for _, name := range t.GoFiles {
+			src, err := os.ReadFile(filepath.Join(t.Dir, name))
+			if err != nil {
+				return nil, fmt.Errorf("lint: cache key for %s: %v", t.ImportPath, err)
+			}
+			io.WriteString(h, "\x00file\x00"+name+"\x00")
+			h.Write(src)
+		}
+		imps := append([]string(nil), t.Imports...)
+		sort.Strings(imps)
+		for _, imp := range imps {
+			if key, ok := c.keys[imp]; ok {
+				// Non-stdlib dep: its own key, already computed
+				// (dependency order). Transitive: a change anywhere
+				// below ripples up.
+				io.WriteString(h, "\x00dep\x00"+imp+"\x00"+key)
+			} else {
+				// Stdlib: the interface is fixed by the toolchain
+				// version in the suite fingerprint.
+				io.WriteString(h, "\x00std\x00"+imp)
+			}
+		}
+		c.keys[t.ImportPath] = hex.EncodeToString(h.Sum(nil))
+	}
+	return c, nil
+}
+
+// factRegistry maps fact struct names to their pointer types for
+// deserialization.
+func factRegistry(analyzers []*Analyzer) map[string]reflect.Type {
+	m := map[string]reflect.Type{}
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			t := factType(f)
+			m[t.Elem().Name()] = t
+		}
+	}
+	return m
+}
+
+// suiteFingerprint pins everything about the checker itself.
+func suiteFingerprint(analyzers []*Analyzer) string {
+	h := sha256.New()
+	io.WriteString(h, cacheSchema+"\x00"+runtime.Version())
+	for _, a := range analyzers {
+		io.WriteString(h, "\x00a\x00"+a.Name+"\x00"+a.Doc)
+		for _, f := range a.FactTypes {
+			io.WriteString(h, "\x00f\x00"+factType(f).Elem().Name())
+		}
+	}
+	io.WriteString(h, "\x00exe\x00"+executableHash())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// executableHash memoizes a content hash of the running binary, so a
+// rebuilt actop-lint (changed analyzer logic, same docs) never reuses
+// stale entries. Content (not mtime) keeps `go build` no-op rebuilds
+// warm.
+var executableHashOnce struct {
+	sync.Once
+	v string
+}
+
+func executableHash() string {
+	executableHashOnce.Do(func() {
+		executableHashOnce.v = "unknown"
+		exe, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		executableHashOnce.v = hex.EncodeToString(h.Sum(nil))
+	})
+	return executableHashOnce.v
+}
+
+func (c *analysisCache) filename(path string) string {
+	sum := sha256.Sum256([]byte(path))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:16])+".gob")
+}
+
+// load returns the verified cache entry for path, or ok=false on any
+// miss, decode error, or key mismatch (a corrupt file is just a miss).
+func (c *analysisCache) load(path string) (*cacheEntry, bool) {
+	data, err := os.ReadFile(c.filename(path))
+	if err != nil {
+		return nil, false
+	}
+	var cf cacheFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&cf); err != nil {
+		return nil, false
+	}
+	if cf.Key != c.keys[path] {
+		return nil, false
+	}
+	e := &cacheEntry{
+		findings: cf.Findings,
+		facts:    cf.Facts,
+		registry: c.registry,
+	}
+	for _, sd := range cf.Dirs {
+		e.directives = append(e.directives, directive{
+			name: sd.Name, reason: sd.Reason, file: sd.File,
+			line: sd.Line, ownLine: sd.OwnLine, bad: sd.Bad, badMsg: sd.BadMsg,
+		})
+	}
+	return e, true
+}
+
+// install replays the entry's facts into the program's fact store.
+func (e *cacheEntry) install(prog *Program, path string) {
+	for _, sf := range e.facts {
+		t, ok := e.registry[sf.Type]
+		if !ok {
+			continue
+		}
+		f := reflect.New(t.Elem()).Interface().(Fact)
+		if err := gob.NewDecoder(bytes.NewReader(sf.Data)).Decode(f); err != nil {
+			continue
+		}
+		if sf.Obj == "" {
+			prog.setPkgFact(path, f)
+		} else {
+			prog.setObjFact(path, sf.Obj, f)
+		}
+	}
+}
+
+// store persists one package's raw findings, directives, and facts.
+// Failures are silent: the cache is an accelerator, never a correctness
+// dependency.
+func (c *analysisCache) store(path string, prog *Program, findings []Finding, dirs []directive) {
+	cf := cacheFile{Key: c.keys[path], Findings: findings}
+	for _, d := range dirs {
+		cf.Dirs = append(cf.Dirs, savedDirective{
+			Name: d.name, Reason: d.reason, File: d.file,
+			Line: d.line, OwnLine: d.ownLine, Bad: d.bad, BadMsg: d.badMsg,
+		})
+	}
+	objs, pkgFacts := prog.factsOfPackage(path)
+	for _, of := range objs {
+		if data, ok := encodeFact(of.Fact); ok {
+			cf.Facts = append(cf.Facts, savedFact{Obj: of.Obj, Type: factType(of.Fact).Elem().Name(), Data: data})
+		}
+	}
+	for _, f := range pkgFacts {
+		if data, ok := encodeFact(f); ok {
+			cf.Facts = append(cf.Facts, savedFact{Type: factType(f).Elem().Name(), Data: data})
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&cf); err != nil {
+		return
+	}
+	tmp := c.filename(path) + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, c.filename(path))
+}
+
+func encodeFact(f Fact) ([]byte, bool) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}

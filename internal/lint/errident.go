@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrIdent bans identity comparison of errors at and around the wire.
+// Errors that cross the transport are rehydrated copies: controlCall
+// decodes the remote error into a fresh value (rehydrateWireErr), so
+// `err == actor.ErrNoSuchActor` is true on the caller's node and false
+// after one hop — the membership fix of PR 8 was chasing exactly that
+// silent false. errors.Is walks the rehydrated wrapper chain and is the
+// only comparison that survives the wire; string matching on Error()
+// output is the same bug with worse spelling. Scope is the packages
+// where wire errors circulate: actor, transport, durable.
+var ErrIdent = &Analyzer{
+	Name: "errident",
+	Doc:  "errors in wire-adjacent packages (actor, transport, durable) must be classified with errors.Is, never == / != or Error()-string comparison; rehydrated wire errors fail identity checks (the PR 8 class)",
+	Match: func(pkgPath string) bool {
+		return pathHasSegment(pkgPath, "actor") || pathHasSegment(pkgPath, "transport") || pathHasSegment(pkgPath, "durable")
+	},
+	Run: runErrIdent,
+}
+
+func runErrIdent(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNilIdent(n.X) || isNilIdent(n.Y) {
+					return true
+				}
+				if isErrorIface(pass.TypesInfo.TypeOf(n.X)) || isErrorIface(pass.TypesInfo.TypeOf(n.Y)) {
+					pass.Reportf(n.Pos(),
+						"error compared with %s; errors that crossed the wire are rehydrated copies (rehydrateWireErr) and fail identity checks — classify with errors.Is (the PR 8 class)", n.Op)
+					return true
+				}
+				if isErrorStringCall(pass, n.X) || isErrorStringCall(pass, n.Y) {
+					pass.Reportf(n.Pos(),
+						"error classified by comparing Error() text; messages are not a stable protocol and rehydrated wire errors may reformat — export a sentinel and classify with errors.Is (the PR 8 class)")
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn == nil || funcPkgPath(fn) != "strings" {
+					return true
+				}
+				switch fn.Name() {
+				case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+					for _, a := range n.Args {
+						if isErrorStringCall(pass, a) {
+							pass.Reportf(n.Pos(),
+								"error classified by strings.%s on Error() text; messages are not a stable protocol and rehydrated wire errors may reformat — export a sentinel and classify with errors.Is (the PR 8 class)", fn.Name())
+							break
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorIface reports whether t is the error interface (or an
+// interface embedding it). Concrete error implementations compared by
+// pointer are out of scope — that can be a legitimate same-node
+// identity check.
+func isErrorIface(t types.Type) bool {
+	if t == nil || !types.IsInterface(t) {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}
+
+// isErrorStringCall matches <error expr>.Error().
+func isErrorStringCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorIface(pass.TypesInfo.TypeOf(sel.X))
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

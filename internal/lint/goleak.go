@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoLeak flags goroutines the runtime cannot shut down: a `go` statement
+// whose function runs an unconditional `for` loop with no reference to
+// any shutdown gate (a done/close channel, a stop flag, a context). The
+// transport's early accept/read loops leaked exactly this way (PR 3):
+// Stop returned, the test passed, and the next test inherited a goroutine
+// still writing to a closed connection. The spawned function often lives
+// in another package — a cmd wrapper `go`-ing a helper from an internal
+// package — so functions containing ungated infinite loops export an
+// UngatedFact and the spawn site consumes it.
+//
+// The gate heuristic is deliberately name-based: any channel receive or
+// identifier mentioning done/stop/quit/clos/cancel/shutdown/exit/ctx in
+// the loop's function counts as gating. That trades missed leaks for
+// near-zero false positives; the chaos battery remains the backstop for
+// the cunning ones.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "a goroutine spawned in actor/transport code must gate its loop on a shutdown signal; an ungated infinite loop outlives Stop and leaks (the PR 3 transport-loop class)",
+	Match: func(pkgPath string) bool {
+		return pathHasSegment(pkgPath, "actor") || pathHasSegment(pkgPath, "transport")
+	},
+	Run:       runGoLeak,
+	FactTypes: []Fact{(*UngatedFact)(nil)},
+}
+
+// UngatedFact marks an exported function whose body runs an infinite
+// loop with no shutdown gate — spawning it as a goroutine leaks it.
+type UngatedFact struct{ Why string }
+
+func (*UngatedFact) AFact() {}
+
+func runGoLeak(pass *Pass) error {
+	decls := packageFuncDecls(pass)
+	// Export: an exported function that is itself an ungated loop leaks
+	// whenever anyone (any package) go's it.
+	for _, fn := range sortedFuncs(decls) {
+		if why, ok := ungatedLoop(pass, decls[fn].Body); ok {
+			pass.ExportObjectFact(fn, &UngatedFact{
+				Why: why + " (" + shortPos(pass.Fset, decls[fn].Body.Pos()) + ")",
+			})
+		}
+	}
+	// Report at spawn sites.
+	for _, fn := range sortedFuncs(decls) {
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if why, ok := spawnLeaks(pass, decls, g.Call, 0); ok {
+				pass.Reportf(g.Pos(),
+					"goroutine %s; Stop cannot terminate it and it outlives the owner (the PR 3 transport-loop class) — gate each iteration on a done/close channel or context", why)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnLeaks judges the function a go statement runs: a func literal
+// (checking its body, and one hop into local functions it calls), a
+// local named function, or an imported one carrying an UngatedFact.
+func spawnLeaks(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr, depth int) (string, bool) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if why, ok := ungatedLoop(pass, lit.Body); ok {
+			return "runs an infinite loop with no shutdown gate: " + why, true
+		}
+		if depth == 0 {
+			// One hop: the idiomatic `go func() { defer wg.Done(); s.loop() }()`.
+			var why string
+			found := false
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if _, isLit := n.(*ast.FuncLit); isLit && n != ast.Node(lit) {
+					return false
+				}
+				inner, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if w, leaks := namedCalleeLeaks(pass, decls, inner, depth+1); leaks {
+					why, found = w, true
+				}
+				return true
+			})
+			if found {
+				return why, true
+			}
+		}
+		return "", false
+	}
+	return namedCalleeLeaks(pass, decls, call, depth)
+}
+
+// namedCalleeLeaks resolves a call's named callee and judges its body
+// (local) or its UngatedFact (imported).
+func namedCalleeLeaks(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr, depth int) (string, bool) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	if fd, ok := decls[fn]; ok {
+		if why, ok := ungatedLoop(pass, fd.Body); ok {
+			return "calls " + funcDisplay(fn) + ", which runs an infinite loop with no shutdown gate: " + why, true
+		}
+		return "", false
+	}
+	var uf UngatedFact
+	if fn.Pkg() != pass.Pkg && pass.ImportObjectFact(fn, &uf) {
+		return "calls " + lastSegment(funcPkgPath(fn)) + "." + funcDisplay(fn) + ", which runs an infinite loop with no shutdown gate: " + uf.Why, true
+	}
+	return "", false
+}
+
+// ungatedLoop reports whether body directly contains an unconditional
+// `for` loop (Cond == nil, outside nested func literals and go bodies)
+// while the body as a whole references no shutdown gate. Ranging over a
+// channel is never flagged — it terminates when the channel closes.
+func ungatedLoop(pass *Pass, body *ast.BlockStmt) (string, bool) {
+	var loop *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if loop != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				loop = n
+				return false
+			}
+		}
+		return true
+	})
+	if loop == nil {
+		return "", false
+	}
+	if hasShutdownGate(pass, body) {
+		return "", false
+	}
+	return "`for` loop at " + shortPos(pass.Fset, loop.Pos()) + " has no done/stop/close/cancel reference", true
+}
+
+// gateWords are the identifier fragments that signal a shutdown gate.
+var gateWords = []string{"done", "stop", "quit", "clos", "cancel", "shutdown", "exit", "ctx"}
+
+// hasShutdownGate scans a function body for any plausible shutdown
+// reference: a channel receive from a gate-named channel, or a
+// gate-named identifier in value position. Names in call position are
+// excluded — `wg.Done()` announces completion, it does not cause it.
+func hasShutdownGate(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && gateName(exprText(n.X)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			// Skip the callee name itself; arguments still count.
+			for _, a := range n.Args {
+				ast.Inspect(a, walk)
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				ast.Inspect(sel.X, walk) // receiver is a value
+			}
+			return false
+		case *ast.Ident:
+			if gateName(n.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if gateName(n.Sel.Name) {
+				found = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return found
+}
+
+func gateName(name string) bool {
+	l := strings.ToLower(name)
+	for _, w := range gateWords {
+		if strings.Contains(l, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprText renders a small expression for name matching.
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprText(e.Fun)
+	}
+	return ""
+}

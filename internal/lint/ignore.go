@@ -86,33 +86,58 @@ func (d directive) targetLine() int {
 	return d.line
 }
 
-// applyDirectives drops findings covered by a well-formed directive and
-// appends one DirectiveAnalyzer finding per malformed directive.
-func applyDirectives(findings []Finding, pkg *Package, dirs []directive) []Finding {
+// resolveDirectives drops findings covered by a well-formed directive
+// and appends one DirectiveAnalyzer finding per malformed directive.
+// With stale true, a well-formed directive that suppressed nothing is
+// itself reported — suppressions must not rot in place as the code they
+// silenced moves or gets fixed. Staleness is only judged for analyzers
+// in the running set: a directive naming an analyzer this run did not
+// execute might suppress perfectly live findings of a full run.
+func resolveDirectives(findings []Finding, dirs []directive, running map[string]bool, stale bool) []Finding {
 	type key struct {
 		file string
 		line int
 		name string
 	}
-	suppressed := map[key]bool{}
+	// A line can carry duplicate directives; all of them claim a match.
+	suppressed := map[key][]int{}
+	used := make([]bool, len(dirs))
 	var out []Finding
-	for _, d := range dirs {
+	for i, d := range dirs {
 		if d.bad {
 			out = append(out, Finding{
-				Pos:      positionOnLine(pkg, d.file, d.line),
+				Pos:      positionOnLine(d.file, d.line),
 				Analyzer: DirectiveAnalyzer,
 				Message:  d.badMsg,
 			})
 			continue
 		}
-		suppressed[key{d.file, d.targetLine(), d.name}] = true
+		k := key{d.file, d.targetLine(), d.name}
+		suppressed[k] = append(suppressed[k], i)
 	}
 	for _, f := range findings {
-		if f.Analyzer != DirectiveAnalyzer &&
-			suppressed[key{f.Pos.Filename, f.Pos.Line, f.Analyzer}] {
-			continue
+		if f.Analyzer != DirectiveAnalyzer {
+			if idxs, ok := suppressed[key{f.Pos.Filename, f.Pos.Line, f.Analyzer}]; ok {
+				for _, i := range idxs {
+					used[i] = true
+				}
+				continue
+			}
 		}
 		out = append(out, f)
+	}
+	if stale {
+		for i, d := range dirs {
+			if d.bad || used[i] || (running != nil && !running[d.name]) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      positionOnLine(d.file, d.line),
+				Analyzer: DirectiveAnalyzer,
+				Message: fmt.Sprintf("stale actoplint:ignore %s: it suppresses no finding on its target line — delete it, or re-anchor it to the code it was justifying (reason was: %s)",
+					d.name, d.reason),
+			})
+		}
 	}
 	return out
 }

@@ -29,22 +29,41 @@ import (
 // comments.
 func Run(t *testing.T, path string, analyzers ...*lint.Analyzer) {
 	t.Helper()
-	_, thisFile, _, ok := runtime.Caller(1)
+	runMulti(t, []string{path}, analyzers)
+}
+
+// RunMulti loads several fixture packages as one program, in the given
+// order (dependencies first, so facts flow along the import edges), and
+// diffs the combined findings — including Finish-pass findings — against
+// the want comments of every package.
+func RunMulti(t *testing.T, paths []string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	runMulti(t, paths, analyzers)
+}
+
+func runMulti(t *testing.T, paths []string, analyzers []*lint.Analyzer) {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(2)
 	if !ok {
 		t.Fatal("linttest: cannot locate caller to find testdata")
 	}
 	callerDir := filepath.Dir(thisFile)
 	srcRoot := filepath.Join(callerDir, "testdata", "src")
 	moduleDir := moduleRoot(callerDir)
-	pkg, err := lint.LoadFixture(moduleDir, srcRoot, path)
+	pkgs, err := lint.LoadFixturePackages(moduleDir, srcRoot, paths)
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
 	}
-	findings, err := lint.RunPackage(pkg, analyzers)
+	findings, err := lint.RunPackages(pkgs, analyzers)
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
 	}
-	wants := collectWants(t, pkg)
+	wants := map[lineKey][]*want{}
+	for _, pkg := range pkgs {
+		for k, ws := range collectWants(t, pkg) {
+			wants[k] = append(wants[k], ws...)
+		}
+	}
 	// Claim findings against wants, line by line.
 	for _, f := range findings {
 		k := lineKey{f.Pos.Filename, f.Pos.Line}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Package is one parsed, type-checked unit of analysis.
@@ -34,6 +35,7 @@ type listPkg struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	DepOnly    bool
@@ -45,12 +47,22 @@ type listPkg struct {
 // export data located via `go list -export`. Only the standard library
 // and the host module are ever consulted — the suite adds no
 // dependencies.
+//
+// The loader is safe for concurrent checkDir calls on distinct target
+// packages (the parallel program runner): the shared maps are guarded
+// by mu, the gc export-data importer (which keeps an internal package
+// cache) is serialized by impMu, and token.FileSet is thread-safe by
+// itself. The re-entrant path — a fixture import triggering a nested
+// checkDir from inside types.Config.Check — only exists in linttest
+// mode, which runs sequentially.
 type loader struct {
 	fset      *token.FileSet
-	moduleDir string            // where go list runs
-	srcRoot   string            // fixture root ("" outside linttest)
+	moduleDir string // where go list runs
+	srcRoot   string // fixture root ("" outside linttest)
+	mu        sync.Mutex
 	exports   map[string]string // import path -> export data file
 	checked   map[string]*Package
+	impMu     sync.Mutex
 	gcImp     types.Importer
 	listed    map[string]bool // import paths already asked of go list
 }
@@ -65,14 +77,19 @@ func newLoader(moduleDir, srcRoot string) *loader {
 		listed:    map[string]bool{},
 	}
 	l.gcImp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		l.mu.Lock()
 		f, ok := l.exports[path]
+		l.mu.Unlock()
 		if !ok {
 			// Lazy path: a fixture imported something go list has not
 			// described yet (linttest mode only).
-			if _, err := l.goList(false, path); err != nil {
+			if _, err := l.goList(true, path); err != nil {
 				return nil, err
 			}
-			if f, ok = l.exports[path]; !ok {
+			l.mu.Lock()
+			f, ok = l.exports[path]
+			l.mu.Unlock()
+			if !ok {
 				return nil, fmt.Errorf("lint: no export data for %q", path)
 			}
 		}
@@ -81,16 +98,29 @@ func newLoader(moduleDir, srcRoot string) *loader {
 	return l
 }
 
-// goList runs `go list -e -export -deps -json` over patterns and records
-// every export-data file it reports. With collect true it also returns
-// the non-dep target packages the patterns name.
-func (l *loader) goList(collect bool, patterns ...string) ([]listPkg, error) {
-	key := strings.Join(patterns, "\x00")
-	if !collect && l.listed[key] {
+// goList runs `go list -e -deps -json` over patterns and returns every
+// listed package — targets and dependencies alike; callers filter. With
+// export true it adds -export, which makes go list build/locate compiler
+// export data for every dependency (markedly slower) and records each
+// export-data file for the importer. A fully-warm cached run never needs
+// export data, so RunProgram lists without it first and only re-lists
+// with export once a package actually has to be type-checked. Repeat
+// calls with identical arguments are memoized to nil.
+func (l *loader) goList(export bool, patterns ...string) ([]listPkg, error) {
+	key := fmt.Sprintf("%v\x00%s", export, strings.Join(patterns, "\x00"))
+	l.mu.Lock()
+	seen := l.listed[key]
+	l.listed[key] = true
+	l.mu.Unlock()
+	if seen {
 		return nil, nil
 	}
-	l.listed[key] = true
-	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error"}, patterns...)
+	args := []string{"list", "-e"}
+	if export {
+		args = append(args, "-export")
+	}
+	args = append(args, "-deps", "-json=ImportPath,Dir,GoFiles,Imports,Export,Standard,DepOnly,Error")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.moduleDir
 	var stderr bytes.Buffer
@@ -99,7 +129,7 @@ func (l *loader) goList(collect bool, patterns ...string) ([]listPkg, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
-	var targets []listPkg
+	var pkgs []listPkg
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
@@ -109,13 +139,13 @@ func (l *loader) goList(collect bool, patterns ...string) ([]listPkg, error) {
 			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
 		}
 		if p.Export != "" {
+			l.mu.Lock()
 			l.exports[p.ImportPath] = p.Export
+			l.mu.Unlock()
 		}
-		if collect && !p.DepOnly && !p.Standard {
-			targets = append(targets, p)
-		}
+		pkgs = append(pkgs, p)
 	}
-	return targets, nil
+	return pkgs, nil
 }
 
 // importFor is the types.Importer handed to the checker: fixtures first,
@@ -123,7 +153,10 @@ func (l *loader) goList(collect bool, patterns ...string) ([]listPkg, error) {
 type importFor struct{ l *loader }
 
 func (c importFor) Import(path string) (*types.Package, error) {
-	if pkg, ok := c.l.checked[path]; ok {
+	c.l.mu.Lock()
+	pkg, ok := c.l.checked[path]
+	c.l.mu.Unlock()
+	if ok {
 		return pkg.Types, nil
 	}
 	if c.l.srcRoot != "" {
@@ -136,6 +169,8 @@ func (c importFor) Import(path string) (*types.Package, error) {
 			return pkg.Types, nil
 		}
 	}
+	c.l.impMu.Lock()
+	defer c.l.impMu.Unlock()
 	return c.l.gcImp.Import(path)
 }
 
@@ -144,7 +179,10 @@ func (c importFor) Import(path string) (*types.Package, error) {
 // (go list mode); otherwise every .go file in dir except tests is taken
 // (fixture mode).
 func (l *loader) checkDir(importPath, dir string, files []string) (*Package, error) {
-	if pkg, ok := l.checked[importPath]; ok {
+	l.mu.Lock()
+	pkg, ok := l.checked[importPath]
+	l.mu.Unlock()
+	if ok {
 		return pkg, nil
 	}
 	if files == nil {
@@ -163,7 +201,7 @@ func (l *loader) checkDir(importPath, dir string, files []string) (*Package, err
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: package %s (%s) has no Go files", importPath, dir)
 	}
-	pkg := &Package{Path: importPath, Fset: l.fset, Src: map[string][]byte{}}
+	pkg = &Package{Path: importPath, Fset: l.fset, Src: map[string][]byte{}}
 	for _, name := range files {
 		full := filepath.Join(dir, name)
 		src, err := os.ReadFile(full)
@@ -189,7 +227,9 @@ func (l *loader) checkDir(importPath, dir string, files []string) (*Package, err
 		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
 	}
 	pkg.Types = tpkg
+	l.mu.Lock()
 	l.checked[importPath] = pkg
+	l.mu.Unlock()
 	return pkg, nil
 }
 
@@ -199,13 +239,16 @@ func (l *loader) checkDir(importPath, dir string, files []string) (*Package, err
 // is the directory go list runs in.
 func LoadPackages(moduleDir string, patterns []string) ([]*Package, error) {
 	l := newLoader(moduleDir, "")
-	targets, err := l.goList(true, patterns...)
+	listed, err := l.goList(true, patterns...)
 	if err != nil {
 		return nil, err
 	}
 	var pkgs []*Package
 	var errs []string
-	for _, t := range targets {
+	for _, t := range listed {
+		if t.Standard || t.DepOnly {
+			continue
+		}
 		if t.Error != nil {
 			errs = append(errs, fmt.Sprintf("%s: %s", t.ImportPath, t.Error.Err))
 			continue
@@ -235,4 +278,25 @@ func LoadFixture(moduleDir, srcRoot, path string) (*Package, error) {
 	l := newLoader(moduleDir, srcRoot)
 	dir := filepath.Join(srcRoot, filepath.FromSlash(path))
 	return l.checkDir(path, dir, nil)
+}
+
+// LoadFixturePackages loads several fixture packages into one shared
+// loader — the multi-package twin of LoadFixture, used to test that
+// facts flow across import edges. Paths must be listed dependencies
+// first (a fixture importing a listed sibling also works in any order:
+// the import resolves through the shared loader either way, but facts
+// only flow dependency-before-dependent). The returned slice follows
+// the input order.
+func LoadFixturePackages(moduleDir, srcRoot string, paths []string) ([]*Package, error) {
+	l := newLoader(moduleDir, srcRoot)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		pkg, err := l.checkDir(path, dir, nil)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
 }

@@ -12,26 +12,59 @@ import (
 // actor call) made with a lock held stalls when the peer is partitioned,
 // the lock pins every other goroutine that needs it, and the failure
 // detector's remediation path is among them. The analyzer is
-// intraprocedural and source-ordered: within one function it tracks
-// Lock/RLock...Unlock windows (defer Unlock holds to function end) and
-// flags transport sends, actor-system calls, and channel sends inside
-// them. Helpers that receive a locked struct are outside its reach —
-// keep lock scopes visible in one function, as the runtime does.
+// source-ordered: within one function it tracks Lock/RLock...Unlock
+// windows (defer Unlock holds to function end) and flags transport
+// sends, actor-system calls, and channel sends inside them.
+//
+// The window tracking is one hop interprocedural, both directions:
+//
+//   - a call to a same-package lock helper (a method whose body's net
+//     effect is acquiring its receiver's mutex) opens the window, and
+//     its unlock twin closes it, so s.lockState()/s.unlockState()
+//     pairs are seen through;
+//   - a call to a function that itself directly performs I/O — same
+//     package, or another module package via its exported DirectIOFact
+//     — is flagged inside a window, with the callee's witness. The
+//     callee-side scan honors the select+default exemption: a helper
+//     whose only send is a non-blocking fast path stays clean.
 var LockHeldIO = &Analyzer{
-	Name: "lockheldio",
-	Doc:  "no transport send, actor-system call, or channel send while a sync.Mutex/RWMutex is held",
-	Run:  runLockHeldIO,
+	Name:      "lockheldio",
+	Doc:       "no transport send, actor-system call, or channel send while a sync.Mutex/RWMutex is held, including one call hop away (DirectIOFact)",
+	Run:       runLockHeldIO,
+	FactTypes: []Fact{(*DirectIOFact)(nil)},
 }
 
+// DirectIOFact marks an exported function that directly performs I/O —
+// a transport send, an actor call, or a blocking channel send — on its
+// synchronous path.
+type DirectIOFact struct{ Why string }
+
+func (*DirectIOFact) AFact() {}
+
 func runLockHeldIO(pass *Pass) error {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if ok && fd.Body != nil {
-				ls := &lockScan{pass: pass, held: map[string]bool{}}
-				ls.walkStmts(fd.Body.List)
+	decls := packageFuncDecls(pass)
+	directIO := map[*types.Func]string{}
+	helperLock := map[*types.Func]string{}
+	helperUnlock := map[*types.Func]string{}
+	for _, fn := range sortedFuncs(decls) {
+		if why, ok := directIOWhy(pass, decls[fn].Body); ok {
+			directIO[fn] = why
+			pass.ExportObjectFact(fn, &DirectIOFact{Why: why})
+		}
+		if suffix, acquire, ok := lockHelperEffect(pass, decls[fn]); ok {
+			if acquire {
+				helperLock[fn] = suffix
+			} else {
+				helperUnlock[fn] = suffix
 			}
 		}
+	}
+	for _, fn := range sortedFuncs(decls) {
+		ls := &lockScan{
+			pass: pass, held: map[string]bool{},
+			directIO: directIO, helperLock: helperLock, helperUnlock: helperUnlock,
+		}
+		ls.walkStmts(decls[fn].Body.List)
 	}
 	return nil
 }
@@ -43,6 +76,10 @@ type lockScan struct {
 	// order. Branch bodies share the map: a sequential
 	// over-approximation.
 	held map[string]bool
+	// Same-package one-hop knowledge, precomputed per package.
+	directIO     map[*types.Func]string
+	helperLock   map[*types.Func]string // fn -> mutex suffix (".mu")
+	helperUnlock map[*types.Func]string
 }
 
 // lockMethods classifies sync mutex methods. TryLock is treated as an
@@ -85,20 +122,35 @@ func (ls *lockScan) walkStmt(s ast.Stmt) {
 			}
 			return
 		}
+		if key, acquire, ok := ls.helperCall(s.X); ok {
+			if acquire {
+				ls.held[key] = true
+			} else {
+				delete(ls.held, key)
+			}
+			return
+		}
 		ls.checkExpr(s.X)
 	case *ast.DeferStmt:
 		// defer mu.Unlock(): the lock stays held to function end — which
 		// is exactly the window the check cares about, so nothing to do.
-		// Other deferred calls run after the lock region logic this scan
-		// models; skip them rather than mis-attribute.
+		// Same for a deferred unlock helper. Other deferred calls run
+		// after the lock region logic this scan models; skip them rather
+		// than mis-attribute.
 		if _, m, ok := ls.mutexMethod(s.Call); ok && lockRelease[m] {
+			return
+		}
+		if _, acquire, ok := ls.helperCall(s.Call); ok && !acquire {
 			return
 		}
 	case *ast.GoStmt:
 		// A spawned goroutine does not hold the caller's locks; its body
 		// gets a fresh scan.
 		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
-			inner := &lockScan{pass: ls.pass, held: map[string]bool{}}
+			inner := &lockScan{
+				pass: ls.pass, held: map[string]bool{},
+				directIO: ls.directIO, helperLock: ls.helperLock, helperUnlock: ls.helperUnlock,
+			}
 			inner.walkStmts(lit.Body.List)
 		}
 		for _, a := range s.Call.Args {
@@ -213,9 +265,156 @@ func (ls *lockScan) checkExpr(e ast.Expr) {
 		case isActorCallMethod(fn):
 			ls.pass.Reportf(call.Pos(),
 				"actor call (%s.%s) while %s is held; the callee may need this node — and this lock — to make progress", recvTypeName(fn), fn.Name(), ls.heldNames())
+		default:
+			// One hop: a callee that itself directly performs I/O —
+			// same package (precomputed) or another module package
+			// (DirectIOFact).
+			if why, ok := ls.directIO[fn]; ok {
+				ls.pass.Reportf(call.Pos(),
+					"call to %s while %s is held; it %s — the lock pins every contender while that stalls", funcDisplay(fn), ls.heldNames(), why)
+				return true
+			}
+			if fn.Pkg() != ls.pass.Pkg {
+				var df DirectIOFact
+				if ls.pass.ImportObjectFact(fn, &df) {
+					ls.pass.Reportf(call.Pos(),
+						"call to %s.%s while %s is held; it %s — the lock pins every contender while that stalls", lastSegment(funcPkgPath(fn)), funcDisplay(fn), ls.heldNames(), df.Why)
+				}
+			}
 		}
 		return true
 	})
+}
+
+// helperCall matches a call to a same-package lock/unlock helper,
+// returning the caller-side held key ("s.state" + ".mu").
+func (ls *lockScan) helperCall(e ast.Expr) (key string, acquire bool, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	fn := calleeFunc(ls.pass.TypesInfo, call)
+	if fn == nil {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	if suffix, isLock := ls.helperLock[fn]; isLock {
+		return types.ExprString(sel.X) + suffix, true, true
+	}
+	if suffix, isUnlock := ls.helperUnlock[fn]; isUnlock {
+		return types.ExprString(sel.X) + suffix, false, true
+	}
+	return "", false, false
+}
+
+// lockHelperEffect recognizes methods whose whole job is taking or
+// releasing their receiver's mutex: the net effect of the body's
+// top-level statements is exactly one acquire (and no I/O) or one
+// release of a receiver-rooted mutex. The returned suffix is the mutex
+// path relative to the receiver (".mu", ".state.mu"), so the caller can
+// rebase it onto its own receiver expression.
+func lockHelperEffect(pass *Pass, fd *ast.FuncDecl) (suffix string, acquire, ok bool) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return "", false, false
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	net := map[string]int{}
+	ls := &lockScan{pass: pass}
+	for _, s := range fd.Body.List {
+		var call *ast.CallExpr
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+		case *ast.DeferStmt:
+			// A deferred unlock makes this a scoped (lock-around-body)
+			// helper, not an open-the-window helper.
+			if _, m, isMutex := ls.mutexMethod(s.Call); isMutex && lockRelease[m] {
+				return "", false, false
+			}
+		}
+		if call == nil {
+			continue
+		}
+		recv, m, isMutex := ls.mutexMethod(call)
+		if !isMutex || !strings.HasPrefix(recv, recvName+".") {
+			continue
+		}
+		if lockAcquire[m] {
+			net[recv[len(recvName):]]++
+		} else if lockRelease[m] {
+			net[recv[len(recvName):]]--
+		}
+	}
+	if len(net) != 1 {
+		return "", false, false
+	}
+	for s, n := range net {
+		switch {
+		case n > 0:
+			return s, true, true
+		case n < 0:
+			return s, false, true
+		}
+	}
+	return "", false, false
+}
+
+// directIOWhy reports whether body directly performs I/O on its
+// synchronous path — a transport send, an actor call, or a channel send
+// that can block (the select+default fast path is exempt). Function
+// literals and goroutine bodies run elsewhere and are skipped.
+func directIOWhy(pass *Pass, body ast.Node) (string, bool) {
+	why := ""
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if why != "" || n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, isComm := c.(*ast.CommClause); isComm && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			for _, c := range n.Body.List {
+				cc, isComm := c.(*ast.CommClause)
+				if !isComm {
+					continue
+				}
+				if snd, isSend := cc.Comm.(*ast.SendStmt); isSend && !hasDefault {
+					why = "performs a blocking channel send at " + shortPos(pass.Fset, snd.Arrow)
+				}
+				for _, s := range cc.Body {
+					ast.Inspect(s, walk)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			why = "performs a channel send at " + shortPos(pass.Fset, n.Arrow)
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.TypesInfo, n)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case fn.Name() == "Send" && pathHasSegment(funcPkgPath(fn), "transport"):
+				why = "sends on the transport at " + shortPos(pass.Fset, n.Pos())
+			case isActorCallMethod(fn):
+				why = "makes an actor call (" + recvTypeName(fn) + "." + fn.Name() + ") at " + shortPos(pass.Fset, n.Pos())
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return why, why != ""
 }
 
 // isActorCallMethod matches the actor system's synchronous call entry

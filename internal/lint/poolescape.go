@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 )
 
 // PoolEscape guards the codec buffer pool's ownership contract
@@ -16,22 +17,103 @@ import (
 // spawned goroutine — of a buffer the function also releases, since the
 // retained alias dangles into the pool's next user. Returning a pooled
 // buffer transfers ownership and stays legal.
+// Cross-package: a function that stashes a []byte parameter (stores it
+// in a field, a container, a global, or sends it on a channel) exports
+// a RetainsFact naming the parameter indices, so passing a pooled
+// buffer to a retaining function in another module package counts as an
+// escape at the call site.
 var PoolEscape = &Analyzer{
-	Name: "poolescape",
-	Doc:  "pooled codec buffers must not be used after PutBuffer nor escape through an alias that outlives their release",
-	Run:  runPoolEscape,
+	Name:      "poolescape",
+	Doc:       "pooled codec buffers must not be used after PutBuffer nor escape through an alias that outlives their release — including via a callee that retains its []byte argument (RetainsFact)",
+	Run:       runPoolEscape,
+	FactTypes: []Fact{(*RetainsFact)(nil)},
 }
 
+// RetainsFact marks an exported function that retains one or more of
+// its []byte parameters beyond the call: Params holds their indices.
+type RetainsFact struct{ Params []int }
+
+func (*RetainsFact) AFact() {}
+
 func runPoolEscape(pass *Pass) error {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if ok && fd.Body != nil {
-				checkPoolFunc(pass, fd.Body)
+	decls := packageFuncDecls(pass)
+	retains := map[*types.Func][]int{}
+	for _, fn := range sortedFuncs(decls) {
+		if idx := retainedByteParams(pass, fn, decls[fn]); len(idx) > 0 {
+			retains[fn] = idx
+			pass.ExportObjectFact(fn, &RetainsFact{Params: idx})
+		}
+	}
+	for _, fn := range sortedFuncs(decls) {
+		checkPoolFunc(pass, decls[fn].Body, retains)
+	}
+	return nil
+}
+
+// retainedByteParams reports which []byte parameters of fd escape the
+// call: stored into a field, container element, or package variable, or
+// sent on a channel.
+func retainedByteParams(pass *Pass, fn *types.Func, fd *ast.FuncDecl) []int {
+	sig := fn.Type().(*types.Signature)
+	paramIndex := map[*types.Var]int{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if s, ok := p.Type().Underlying().(*types.Slice); ok {
+			if b, ok := s.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+				paramIndex[p] = i
 			}
 		}
 	}
-	return nil
+	if len(paramIndex) == 0 {
+		return nil
+	}
+	retained := map[int]bool{}
+	paramOf := func(e ast.Expr) (int, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+		if v == nil {
+			return 0, false
+		}
+		i, ok := paramIndex[v]
+		return i, ok
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				pi, isParam := paramOf(rhs)
+				if !isParam || i >= len(n.Lhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					retained[pi] = true
+				case *ast.Ident:
+					if v, ok := pass.TypesInfo.Uses[lhs].(*types.Var); ok &&
+						v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+						retained[pi] = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if pi, isParam := paramOf(n.Value); isParam {
+				retained[pi] = true
+			}
+		}
+		return true
+	})
+	if len(retained) == 0 {
+		return nil
+	}
+	var out []int
+	for i := range retained {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // poolState tracks pooled buffer variables within one function.
@@ -52,7 +134,7 @@ type escape struct {
 	kind string
 }
 
-func checkPoolFunc(pass *Pass, body *ast.BlockStmt) {
+func checkPoolFunc(pass *Pass, body *ast.BlockStmt, retains map[*types.Func][]int) {
 	st := &poolState{pass: pass, pooled: map[*types.Var]*bufState{}}
 	// Pass 1: find pooled vars and whether each is ever released, so
 	// escapes can be judged against releases later in source order.
@@ -72,6 +154,39 @@ func checkPoolFunc(pass *Pass, body *ast.BlockStmt) {
 	if len(st.pooled) == 0 {
 		return
 	}
+	// Pass 1b: passing a pooled buffer to a callee that retains that
+	// parameter (same package, or cross-package via RetainsFact) is an
+	// aliasing escape at the call site.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(st.pass.TypesInfo, call)
+		if fn == nil || st.isCodecFunc(fn, "PutBuffer") || st.isCodecFunc(fn, "MarshalAppend") {
+			return true
+		}
+		idx := retains[fn]
+		if idx == nil {
+			var rf RetainsFact
+			if pass.ImportObjectFact(fn, &rf) {
+				idx = rf.Params
+			}
+		}
+		for _, i := range idx {
+			if i >= len(call.Args) {
+				continue
+			}
+			v := st.localVar(call.Args[i])
+			if v == nil {
+				continue
+			}
+			if bs, ok := st.pooled[v]; ok {
+				bs.escapes = append(bs.escapes, escape{call, "is passed to " + funcDisplay(fn) + ", which retains it,"})
+			}
+		}
+		return true
+	})
 	// Pass 2: walk statements in source order enforcing the two rules.
 	st.walkStmts(body.List)
 	for _, bs := range st.pooled {

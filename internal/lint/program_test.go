@@ -1,0 +1,176 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"actop/internal/lint"
+)
+
+// writeTempModule lays out a self-contained two-package module —
+// tmpmod/actor/inner exporting a wire sentinel and an ungated spin
+// loop, tmpmod/actor/outer importing both hazards — so RunProgram can
+// exercise go list, cross-package facts, caching, and the stale-
+// directive check against a real module on disk (RunPackages, which the
+// fixture harness uses, deliberately keeps staleness off).
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"actor/inner/inner.go": `// Package inner exports the hazards outer trips over.
+package inner
+
+import "errors"
+
+// ErrGone crosses the wire and comes back a different instance.
+var ErrGone = errors.New("gone")
+
+// Spin runs forever with no shutdown gate.
+func Spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+`,
+		"actor/outer/outer.go": `// Package outer holds one live finding, one suppressed finding, one
+// stale directive, and one cross-package leak.
+package outer
+
+import "tmpmod/actor/inner"
+
+func Classify(err error) string {
+	if err == inner.ErrGone { // live errident finding
+		return "gone"
+	}
+	return ""
+}
+
+func Quiet(err error) string {
+	if err == inner.ErrGone { //actoplint:ignore errident audited: local-only path, never crosses the wire
+		return "gone"
+	}
+	return ""
+}
+
+//actoplint:ignore errident anchored to nothing, must be reported stale
+func Spawn() {
+	go inner.Spin() // cross-package goleak finding via inner's UngatedFact
+}
+`,
+	}
+	for name, src := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runTempModule(t *testing.T, dir string, opts lint.Options) ([]lint.Finding, *lint.Stats) {
+	t.Helper()
+	findings, stats, err := lint.RunProgram(dir, []string{"./..."}, lint.Analyzers(), opts)
+	if err != nil {
+		t.Fatalf("RunProgram: %v", err)
+	}
+	return findings, stats
+}
+
+// TestRunProgramStaleDirective pins the whole-program run end to end:
+// the live finding and the cross-package fact finding surface, the
+// justified suppression holds, and the directive that suppresses
+// nothing is itself reported.
+func TestRunProgramStaleDirective(t *testing.T) {
+	dir := writeTempModule(t)
+	findings, stats := runTempModule(t, dir, lint.Options{})
+	if stats.Packages != 2 || stats.Loaded != 2 {
+		t.Fatalf("expected 2 packages loaded, got %+v", stats)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("expected 3 findings (errident, goleak, stale directive), got %d:\n%v", len(findings), findings)
+	}
+	assertFinding(t, findings, "errident", "error compared with ==")
+	assertFinding(t, findings, "goleak", "goroutine calls inner.Spin, which runs an infinite loop")
+	assertFinding(t, findings, lint.DirectiveAnalyzer, "stale actoplint:ignore errident: it suppresses no finding")
+	for _, f := range findings {
+		if strings.Contains(f.Message, "audited: local-only path") {
+			t.Fatalf("justified suppression leaked through: %v", f)
+		}
+	}
+}
+
+func assertFinding(t *testing.T, findings []lint.Finding, analyzer, substr string) {
+	t.Helper()
+	for _, f := range findings {
+		if f.Analyzer == analyzer && strings.Contains(f.Message, substr) {
+			return
+		}
+	}
+	t.Fatalf("no %s finding containing %q in:\n%v", analyzer, substr, findings)
+}
+
+// TestRunProgramDeterministic runs the identical program twice and
+// requires byte-identical findings in identical order — the property
+// CI diffs and the cache both lean on.
+func TestRunProgramDeterministic(t *testing.T) {
+	dir := writeTempModule(t)
+	a, _ := runTempModule(t, dir, lint.Options{})
+	b, _ := runTempModule(t, dir, lint.Options{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two runs over the same program disagree:\nrun1: %v\nrun2: %v", a, b)
+	}
+}
+
+// TestRunProgramCache pins the cache contract: a warm re-run restores
+// every package without loading, produces identical findings, and
+// editing a package invalidates exactly its dependents — inner's key
+// feeds outer's, so touching inner misses both while touching outer
+// leaves inner's entry live.
+func TestRunProgramCache(t *testing.T) {
+	dir := writeTempModule(t)
+	opts := lint.Options{CacheDir: filepath.Join(dir, ".lintcache")}
+
+	cold, stats := runTempModule(t, dir, opts)
+	if stats.CacheHits != 0 || stats.Loaded != 2 {
+		t.Fatalf("cold run: expected 0 hits / 2 loaded, got %+v", stats)
+	}
+	warm, stats := runTempModule(t, dir, opts)
+	if stats.CacheHits != 2 || stats.Loaded != 0 {
+		t.Fatalf("warm run: expected 2 hits / 0 loaded, got %+v", stats)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cached findings diverge:\ncold: %v\nwarm: %v", cold, warm)
+	}
+
+	touch := func(rel string) {
+		t.Helper()
+		p := filepath.Join(dir, filepath.FromSlash(rel))
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	touch("actor/inner/inner.go")
+	_, stats = runTempModule(t, dir, opts)
+	if stats.CacheHits != 0 || stats.Loaded != 2 {
+		t.Fatalf("after touching inner: expected 0 hits (outer depends on inner), got %+v", stats)
+	}
+
+	touch("actor/outer/outer.go")
+	_, stats = runTempModule(t, dir, opts)
+	if stats.CacheHits != 1 || stats.Loaded != 1 {
+		t.Fatalf("after touching only outer: expected inner hit + outer miss, got %+v", stats)
+	}
+}

@@ -1,74 +1,30 @@
 package lint
 
 import (
-	"fmt"
 	"go/token"
 )
 
 // Run loads the packages matched by patterns (relative to moduleDir) and
-// applies analyzers, returning surviving findings in stable order.
-// Suppression directives are honored per package; malformed directives
-// surface as DirectiveAnalyzer findings.
+// applies analyzers as one whole program — facts flow along import
+// edges, Finish passes see every package — returning surviving findings
+// in stable order. Suppression directives are honored globally;
+// malformed directives and stale directives (ones that no longer
+// suppress any finding) surface as DirectiveAnalyzer findings.
 func Run(moduleDir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
-	pkgs, err := LoadPackages(moduleDir, patterns)
-	if err != nil {
-		return nil, err
-	}
-	var all []Finding
-	for _, pkg := range pkgs {
-		fs, err := RunPackage(pkg, analyzers)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, fs...)
-	}
-	sortFindings(all)
-	return all, nil
+	findings, _, err := RunProgram(moduleDir, patterns, analyzers, Options{})
+	return findings, err
 }
 
 // RunPackage applies analyzers to one loaded package and resolves
-// suppression directives. The set of names a directive may legally cite
-// is the full suite plus whatever analyzers were passed (so fixture runs
-// of a single analyzer still accept directives naming the others).
+// suppression directives — the single-package fixture path (facts still
+// work within the package; stale-directive detection stays off, see
+// RunPackages).
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
-	known := map[string]bool{}
-	for _, a := range Analyzers() {
-		known[a.Name] = true
-	}
-	for _, a := range analyzers {
-		known[a.Name] = true
-	}
-	var findings []Finding
-	for _, a := range analyzers {
-		if a.Match != nil && !a.Match(pkg.Path) {
-			continue
-		}
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-		}
-		name := a.Name
-		pass.report = func(d Diagnostic) {
-			findings = append(findings, Finding{
-				Pos:      pkg.Fset.Position(d.Pos),
-				Analyzer: name,
-				Message:  d.Message,
-			})
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: analyzer %s on %s: %v", a.Name, pkg.Path, err)
-		}
-	}
-	findings = applyDirectives(findings, pkg, scanDirectives(pkg, known))
-	sortFindings(findings)
-	return findings, nil
+	return RunPackages([]*Package{pkg}, analyzers)
 }
 
 // positionOnLine fabricates a position for line-anchored findings (used
 // for directive errors, which have no AST node).
-func positionOnLine(pkg *Package, file string, line int) token.Position {
+func positionOnLine(file string, line int) token.Position {
 	return token.Position{Filename: file, Line: line, Column: 1}
 }

@@ -21,25 +21,30 @@ import (
 // Function-literal bodies are exempt — a closure built on the locked path
 // runs wherever it is later invoked, which in this pattern is the
 // off-turn pool — and goroutine bodies likewise run off the lock.
+// Cross-package: every function whose synchronous (non-closure,
+// non-goroutine) subtree encodes or performs I/O exports an
+// EncodeIOFact, so a capture body calling a helper in another module
+// package is flagged with the helper's witness chain.
 var SnapBlock = &Analyzer{
-	Name: "snapblock",
-	Doc:  "no encode (codec/gob/json) or I/O (transport send, actor call) reachable from a turn-locked snapshot capture (capture*Locked); defer it to the returned closure, which runs on the snapshotter pool",
-	Run:  runSnapBlock,
+	Name:      "snapblock",
+	Doc:       "no encode (codec/gob/json) or I/O (transport send, actor call) reachable from a turn-locked snapshot capture (capture*Locked), including through helpers in other module packages (EncodeIOFact); defer it to the returned closure, which runs on the snapshotter pool",
+	Run:       runSnapBlock,
+	FactTypes: []Fact{(*EncodeIOFact)(nil)},
 }
 
+// EncodeIOFact marks an exported function that (transitively, on its
+// synchronous path) encodes or performs I/O. Kind is "encode" or "io";
+// Why is the witness chain.
+type EncodeIOFact struct {
+	Kind string
+	Why  string
+}
+
+func (*EncodeIOFact) AFact() {}
+
 func runSnapBlock(pass *Pass) error {
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
-			}
-		}
-	}
+	decls := packageFuncDecls(pass)
+	exportEncodeIOFacts(pass, decls)
 	// Roots: the turn-locked capture entry points, matched by the naming
 	// convention the runtime uses (captureSnapshotLocked and siblings).
 	// The *Locked suffix is the repo-wide marker for "caller holds the
@@ -149,8 +154,77 @@ func scanSnapCalls(pass *Pass, body ast.Node, where string) {
 		case isActorCallMethod(fn):
 			pass.Reportf(call.Pos(),
 				"actor call (%s.%s) %s holds the turn lock across a round trip — and can deadlock if the callee needs this activation; call from the returned closure", recvTypeName(fn), fn.Name(), where)
+		default:
+			// Cross-package: the callee's own package proved it encodes
+			// or does I/O on its synchronous path.
+			if fn.Pkg() == pass.Pkg {
+				return // local callees: the BFS walks their bodies
+			}
+			var ef EncodeIOFact
+			if pass.ImportObjectFact(fn, &ef) {
+				verb := "performs I/O"
+				if ef.Kind == "encode" {
+					verb = "encodes"
+				}
+				pass.Reportf(call.Pos(),
+					"%s.%s %s %s: %s; the blocked caller's reply waits on it — defer it to the returned closure (snapshotter pool)",
+					lastSegment(funcPkgPath(fn)), funcDisplay(fn), verb, where, ef.Why)
+			}
 		}
 	})
+}
+
+// exportEncodeIOFacts summarizes every declared function's synchronous
+// encode/I-O behavior and exports facts for the exported ones. Encode
+// and I/O propagate as separate fixpoints so the fact keeps its kind.
+func exportEncodeIOFacts(pass *Pass, decls map[*types.Func]*ast.FuncDecl) {
+	factOf := func(wantKind string) func(*types.Func, *ast.CallExpr) (string, bool) {
+		return func(callee *types.Func, call *ast.CallExpr) (string, bool) {
+			var ef EncodeIOFact
+			if pass.ImportObjectFact(callee, &ef) && ef.Kind == wantKind {
+				return "calls " + lastSegment(funcPkgPath(callee)) + "." + funcDisplay(callee) + ": " + ef.Why, true
+			}
+			return "", false
+		}
+	}
+	encodes := effectSummaries(pass, decls, forEachLockedNode,
+		func(n ast.Node) (string, bool) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return "", false
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || !isEncodeCall(fn) {
+				return "", false
+			}
+			return encodeKind(fn), true
+		},
+		factOf("encode"))
+	ios := effectSummaries(pass, decls, forEachLockedNode,
+		func(n ast.Node) (string, bool) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return "", false
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			switch {
+			case fn == nil:
+				return "", false
+			case fn.Name() == "Send" && pathHasSegment(funcPkgPath(fn), "transport"):
+				return "transport send", true
+			case isActorCallMethod(fn):
+				return "actor call " + recvTypeName(fn) + "." + fn.Name(), true
+			}
+			return "", false
+		},
+		factOf("io"))
+	for _, fn := range sortedFuncs(decls) {
+		if s, ok := encodes[fn]; ok {
+			pass.ExportObjectFact(fn, &EncodeIOFact{Kind: "encode", Why: s.why + " (" + shortPos(pass.Fset, s.pos) + ")"})
+		} else if s, ok := ios[fn]; ok {
+			pass.ExportObjectFact(fn, &EncodeIOFact{Kind: "io", Why: s.why + " (" + shortPos(pass.Fset, s.pos) + ")"})
+		}
+	}
 }
 
 // isEncodeCall matches serialization entry points: the repo's codec

@@ -18,3 +18,12 @@ type System struct{}
 
 // Call is the top-level (re-entrant when used from a turn) entry point.
 func (s *System) Call(to Ref, method string, args, reply interface{}) error { return nil }
+
+// Actor is the turn contract.
+type Actor interface {
+	Receive(ctx *Context, method string, args []byte) ([]byte, error)
+}
+
+// RegisterType binds a kind string to a factory, as the real runtime
+// does — calldag keys on this shape.
+func (s *System) RegisterType(name string, f func() Actor) {}

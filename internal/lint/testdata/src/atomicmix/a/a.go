@@ -1,0 +1,47 @@
+// Fixture for the atomicmix analyzer: words touched both via
+// sync/atomic and plainly. The same-package mix (hits) and the
+// cross-package mix (dep.Gauge.Hot, dep.Spins — atomic half in
+// atomicmix/dep) must be flagged at every plain site; atomic-only and
+// plain-only words are the near misses that must stay silent.
+package a
+
+import (
+	"sync/atomic"
+
+	"atomicmix/dep"
+)
+
+type counter struct {
+	hits  int64 // atomic in bump, plain in read: the mix
+	safe  int64 // atomic everywhere: near miss
+	plain int64 // plain everywhere, no atomic anywhere: near miss
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.safe, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want `a\.counter\.hits is accessed plainly here but atomically at`
+}
+
+func (c *counter) readSafe() int64 {
+	return atomic.LoadInt64(&c.safe)
+}
+
+func (c *counter) readPlain() int64 {
+	c.plain++
+	return c.plain
+}
+
+// snapshot reads dep's atomically-maintained words plainly: the
+// cross-package halves of the mix, one field, one package variable.
+func snapshot(g *dep.Gauge) (int64, uint64) {
+	hot := g.Hot   // want `dep\.Gauge\.Hot is accessed plainly here but atomically at`
+	n := dep.Spins // want `dep\.\.Spins is accessed plainly here but atomically at`
+	return hot, n
+}
+
+// coldRead uses a field nobody touches atomically: near miss.
+func coldRead(g *dep.Gauge) int64 { return g.Cold }

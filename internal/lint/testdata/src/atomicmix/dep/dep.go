@@ -1,0 +1,23 @@
+// Fixture dependency for the atomicmix analyzer: declares a counter
+// type and a package-level word and touches both ONLY through
+// sync/atomic. The plain accesses live in the importing package
+// (atomicmix/a), so the mix is invisible to either package alone — the
+// Finish pass joins the per-package access facts.
+package dep
+
+import "sync/atomic"
+
+// Gauge is a shared counter; Hot is bumped atomically on the fast path.
+type Gauge struct {
+	Hot  int64
+	Cold int64 // never touched atomically: plain use elsewhere is fine
+}
+
+// Spins is bumped atomically by Bump.
+var Spins uint64
+
+// Bump is the atomic half of both mixes.
+func (g *Gauge) Bump() {
+	atomic.AddInt64(&g.Hot, 1)
+	atomic.AddUint64(&Spins, 1)
+}

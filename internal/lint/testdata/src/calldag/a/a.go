@@ -1,0 +1,31 @@
+// Fixture for the calldag analyzer, package one of a sibling pair: this
+// package registers kind "alpha" and its turn synchronously calls kind
+// "beta", which calldag/b registers and which calls back — the ctlStage
+// livelock shape, invisible to any per-package analysis because the two
+// packages never import each other. The Finish pass joins their facts
+// and reports the edge that closes the cycle (in b, where the DFS from
+// the alphabetically-first kind finds the back edge).
+package a
+
+import "actor"
+
+// Alpha is registered as kind "alpha".
+type Alpha struct{}
+
+// Receive calls into kind "beta" synchronously: the forward half of the
+// cycle. The finding lands on the matching back edge in calldag/b.
+func (a *Alpha) Receive(ctx *actor.Context, method string, args []byte) ([]byte, error) {
+	if method == "poke" {
+		var reply []byte
+		if err := ctx.Call(actor.Ref{Type: "beta", Key: "b0"}, "echo", args, &reply); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// Register binds the kind; the factory's concrete type is how calldag
+// ties edges (per Go type) to kinds (per registration).
+func Register(sys *actor.System) {
+	sys.RegisterType("alpha", func() actor.Actor { return &Alpha{} })
+}

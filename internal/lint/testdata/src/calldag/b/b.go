@@ -1,0 +1,43 @@
+// Fixture for the calldag analyzer, package two of the sibling pair:
+// registers kinds "beta" (which calls back into "alpha", closing the
+// cycle) and "gamma" (which also calls "alpha" — but only one way, so
+// it must stay silent: a DAG edge is the whole point of the check).
+package b
+
+import "actor"
+
+// Beta is registered as kind "beta".
+type Beta struct{}
+
+// alphaRef is a typed constructor: calldag resolves the call's kind
+// through it (and would export a RefKindFact were it consumed from yet
+// another package).
+func alphaRef(key string) actor.Ref {
+	return actor.Ref{Type: "alpha", Key: key}
+}
+
+// Receive calls back into kind "alpha": the back edge of the cycle.
+func (b *Beta) Receive(ctx *actor.Context, method string, args []byte) ([]byte, error) {
+	var reply []byte
+	if err := ctx.Call(alphaRef("a0"), "echo", args, &reply); err != nil { // want `synchronous actor call into kind "alpha" closes the kind-level cycle alpha → beta → alpha`
+		return nil, err
+	}
+	return nil, nil
+}
+
+// Gamma is registered as kind "gamma" and calls "alpha" one way only —
+// near miss: an acyclic kind edge is legal.
+type Gamma struct{}
+
+// Receive's call contributes the DAG edge gamma → alpha; no finding.
+func (g *Gamma) Receive(ctx *actor.Context, method string, args []byte) ([]byte, error) {
+	ref := actor.Ref{Type: "alpha", Key: "a1"}
+	var reply []byte
+	return reply, ctx.Call(ref, "echo", args, &reply)
+}
+
+// Register binds both kinds.
+func Register(sys *actor.System) {
+	sys.RegisterType("beta", func() actor.Actor { return &Beta{} })
+	sys.RegisterType("gamma", func() actor.Actor { return &Gamma{} })
+}

@@ -1,0 +1,48 @@
+// Fixture for the errident analyzer: wire-adjacent code must classify
+// errors with errors.Is. Positives: == / != against a sentinel, and
+// Error()-text matching (==, strings.Contains). Near misses: errors.Is,
+// nil checks, and string comparisons that don't involve Error().
+package a
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrTimeout is a sentinel that crosses the wire as a rehydrated copy.
+var ErrTimeout = errors.New("timeout")
+
+func classify(err error) string {
+	if err == ErrTimeout { // want `error compared with ==`
+		return "timeout"
+	}
+	if err != ErrTimeout { // want `error compared with !=`
+		return "other"
+	}
+	if err.Error() == "boom" { // want `error classified by comparing Error\(\) text`
+		return "boom"
+	}
+	if strings.Contains(err.Error(), "partial") { // want `error classified by strings\.Contains on Error\(\) text`
+		return "partial"
+	}
+	return ""
+}
+
+// nearMisses stay silent: errors.Is is the sanctioned check, nil
+// comparisons are not identity classification, and unrelated string
+// work is out of scope.
+func nearMisses(err error, s string) string {
+	if errors.Is(err, ErrTimeout) {
+		return "timeout"
+	}
+	if err == nil {
+		return "ok"
+	}
+	if err != nil && s == "boom" {
+		return s
+	}
+	if strings.Contains(s, "partial") {
+		return "partial"
+	}
+	return ""
+}

@@ -1,0 +1,77 @@
+// Fixture for the goleak analyzer: goroutines in actor/transport code
+// must gate their loops on a shutdown signal. Positives: an ungated
+// funclit loop, an ungated local named loop, one reached one hop
+// through a wrapper funclit, and an imported ungated function
+// (goleak/actor/dep, via its UngatedFact). Near misses: loops gated on
+// a done channel or close flag, and ranging over a channel (terminates
+// on close).
+package a
+
+import (
+	"sync"
+
+	"goleak/actor/dep"
+)
+
+type stage struct {
+	done chan struct{}
+	work chan int
+	bg   sync.WaitGroup
+}
+
+// start spawns the full zoo.
+func (s *stage) start() {
+	go func() { // want `goroutine runs an infinite loop with no shutdown gate`
+		n := 0
+		for {
+			n++
+		}
+	}()
+
+	go s.spinLoop() // want `goroutine calls \(stage\)\.spinLoop, which runs an infinite loop with no shutdown gate`
+
+	s.bg.Add(1)
+	go func() { // want `goroutine calls \(stage\)\.spinLoop, which runs an infinite loop with no shutdown gate`
+		defer s.bg.Done()
+		s.spinLoop()
+	}()
+
+	go dep.Spin() // want `goroutine calls dep\.Spin, which runs an infinite loop with no shutdown gate`
+
+	// Near misses from here down.
+	go s.gatedLoop()            // watches s.done
+	go dep.Pump(s.done, s.work) // gated in its own package
+	go s.drainLoop()            // range over channel: ends when closed
+	s.bg.Add(1)
+	go func() { // wrapper over a gated loop
+		defer s.bg.Done()
+		s.gatedLoop()
+	}()
+}
+
+// spinLoop never checks anything: ungated.
+func (s *stage) spinLoop() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// gatedLoop polls the done channel every iteration.
+func (s *stage) gatedLoop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case n := <-s.work:
+			_ = n
+		}
+	}
+}
+
+// drainLoop ranges over the work channel; close(work) ends it.
+func (s *stage) drainLoop() {
+	for n := range s.work {
+		_ = n
+	}
+}

@@ -1,0 +1,26 @@
+// Fixture dependency for the goleak analyzer: exports a function whose
+// body is an ungated infinite loop. Spawning it lives in the importing
+// package — the UngatedFact is how the spawn site learns it leaks.
+package dep
+
+// Spin burns forever with no shutdown gate; `go dep.Spin()` leaks.
+func Spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// Pump also loops forever but watches a done channel every iteration:
+// near miss, gated.
+func Pump(doneCh <-chan struct{}, work chan<- int) {
+	n := 0
+	for {
+		select {
+		case <-doneCh:
+			return
+		case work <- n:
+			n++
+		}
+	}
+}

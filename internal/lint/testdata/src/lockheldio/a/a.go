@@ -96,3 +96,45 @@ func (n *node) twoLocksHeld() {
 	n.rmu.RUnlock()
 	n.mu.Unlock()
 }
+
+// lockState / unlockState are lock helpers: their net effect is the
+// receiver's mutex, so calling them opens and closes the window one
+// call hop away.
+func (n *node) lockState()   { n.mu.Lock() }
+func (n *node) unlockState() { n.mu.Unlock() }
+
+func (n *node) helperWindow() {
+	n.lockState()
+	n.conn.Send("peer", nil) // want `transport send while n\.mu is held`
+	n.unlockState()
+	_ = n.conn.Send("peer", nil) // near miss: the helper closed the window
+}
+
+// pump sends unconditionally; callers holding a lock are flagged one
+// hop away through pump's direct-I/O summary.
+func (n *node) pump(v int) {
+	n.ch <- v
+}
+
+func (n *node) pumpWhileLocked(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pump(v) // want `call to \(node\)\.pump while n\.mu is held; it performs a channel send`
+}
+
+// tryPump is the one-hop near miss: its only send sits behind
+// select+default, so it cannot block and carries no direct-I/O summary.
+func (n *node) tryPump(v int) bool {
+	select {
+	case n.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func (n *node) tryPumpWhileLocked(v int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tryPump(v)
+}

@@ -20,24 +20,47 @@ import (
 // selects without default, and re-entrant System.Call in anything
 // reachable. Goroutines spawned from a turn run off-turn and are exempt;
 // Context.Call is the runtime's sanctioned await and stays legal.
+//
+// Cross-package: every function whose on-turn subtree (transitively)
+// blocks exports a BlockerFact, so a Receive body calling an innocuous-
+// looking helper in another module package is flagged with the helper's
+// witness chain — the class the old per-package analyzer could not see.
 var TurnBlock = &Analyzer{
-	Name: "turnblock",
-	Doc:  "no blocking operations (time.Sleep, WaitGroup.Wait, bare channel receive, select without default, re-entrant System.Call) reachable from an actor turn",
-	Run:  runTurnBlock,
+	Name:      "turnblock",
+	Doc:       "no blocking operations (time.Sleep, WaitGroup.Wait, bare channel receive, select without default, re-entrant System.Call) reachable from an actor turn, including through helpers in other module packages (BlockerFact)",
+	Run:       runTurnBlock,
+	FactTypes: []Fact{(*BlockerFact)(nil)},
 }
+
+// BlockerFact marks an exported function that (transitively) performs a
+// blocking operation when called synchronously. Why is the witness
+// chain ending in the concrete operation and its position.
+type BlockerFact struct{ Why string }
+
+func (*BlockerFact) AFact() {}
 
 func runTurnBlock(pass *Pass) error {
 	// Collect the package's function bodies, keyed by their object.
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+	decls := packageFuncDecls(pass)
+	// Export blocking summaries for every declared function — importers
+	// check them at call sites inside turns. This runs on every module
+	// package (not just ones with turns): internal/codec has no actors,
+	// but a blocking codec helper must still carry its fact.
+	blockers := effectSummaries(pass, decls, forEachOnTurnNode,
+		func(n ast.Node) (string, bool) { return blockingOpWhy(pass, n) },
+		func(fn *types.Func, call *ast.CallExpr) (string, bool) {
+			if isSanctionedAwait(fn) {
+				return "", false
 			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
+			var bf BlockerFact
+			if pass.ImportObjectFact(fn, &bf) {
+				return "calls " + lastSegment(funcPkgPath(fn)) + "." + funcDisplay(fn) + ": " + bf.Why, true
 			}
+			return "", false
+		})
+	for _, fn := range sortedFuncs(decls) {
+		if s, ok := blockers[fn]; ok {
+			pass.ExportObjectFact(fn, &BlockerFact{Why: s.why + " (" + shortPos(pass.Fset, s.pos) + ")"})
 		}
 	}
 	// Roots: methods implementing the actor turn contract.
@@ -200,7 +223,61 @@ func checkBlockingCall(pass *Pass, call *ast.CallExpr, where string) {
 		pathHasSegment(funcPkgPath(fn), "actor"):
 		pass.Reportf(call.Pos(),
 			"re-entrant System.Call %s deadlocks when the callee (transitively) needs this activation; call through Context.Call, which threads the turn's identity", where)
+	default:
+		// Cross-package: the callee's own package proved it blocks. Local
+		// callees are excluded — the BFS already walks into their bodies
+		// and reports the concrete operation there.
+		if isSanctionedAwait(fn) || fn.Pkg() == pass.Pkg {
+			return
+		}
+		var bf BlockerFact
+		if pass.ImportObjectFact(fn, &bf) {
+			pass.Reportf(call.Pos(),
+				"%s.%s blocks %s: %s; actor turns must never block", lastSegment(funcPkgPath(fn)), funcDisplay(fn), where, bf.Why)
+		}
 	}
+}
+
+// blockingOpWhy is the local blocking detector shared with the fact
+// exporter: it mirrors scanBlocking's judgments as witness strings.
+func blockingOpWhy(pass *Pass, n ast.Node) (string, bool) {
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return "", false
+			}
+		}
+		return "select without default", true
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			return "bare channel receive", true
+		}
+	case *ast.CallExpr:
+		fn := calleeFunc(pass.TypesInfo, n)
+		if fn == nil {
+			return "", false
+		}
+		switch {
+		case isPkgFunc(fn, "time", "Sleep"):
+			return "time.Sleep", true
+		case funcPkgPath(fn) == "sync" && fn.Name() == "Wait" &&
+			(recvTypeName(fn) == "WaitGroup" || recvTypeName(fn) == "Cond"):
+			return "sync." + recvTypeName(fn) + ".Wait", true
+		case fn.Name() == "Call" && recvTypeName(fn) == "System" &&
+			pathHasSegment(funcPkgPath(fn), "actor"):
+			return "System.Call", true
+		}
+	}
+	return "", false
+}
+
+// isSanctionedAwait exempts the runtime's own await surface: Context
+// methods (Call and friends) block by design under the scheduler's
+// control, so a BlockerFact on them — or imported for them — must never
+// indict the turns that use them.
+func isSanctionedAwait(fn *types.Func) bool {
+	return recvTypeName(fn) == "Context" && pathHasSegment(funcPkgPath(fn), "actor")
 }
 
 // chainString renders root → ... → fn as the call path the BFS found.
